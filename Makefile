@@ -1,0 +1,55 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench fuzz smoke examples harness regen outputs
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Short exploratory fuzzing over every wire codec.
+fuzz:
+	go test -fuzz FuzzDecodeMessage -fuzztime 15s ./internal/bind/
+	go test -fuzz FuzzSunRPCControl -fuzztime 10s ./internal/hrpc/
+	go test -fuzz FuzzCourierControl -fuzztime 10s ./internal/hrpc/
+	go test -fuzz FuzzRawControl -fuzztime 10s ./internal/hrpc/
+	go test -fuzz FuzzXDRDecode -fuzztime 10s ./internal/marshal/
+	go test -fuzz FuzzCourierDecode -fuzztime 10s ./internal/marshal/
+
+# Multi-process deployment over real sockets.
+smoke:
+	./scripts/smoke.sh
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/binding
+	go run ./examples/evolving
+	go run ./examples/mailrouting
+	go run ./examples/filing
+	go run ./examples/looseintegration
+
+# Regenerate every paper table/figure/prose measurement.
+harness:
+	go run ./cmd/hnsbench -all
+
+# Regenerate checked-in stub-compiler output.
+regen:
+	go run ./cmd/hrpcgen -in internal/gen/greeter/greeter.idl \
+		-pkg greeter -out internal/gen/greeter/greeter_stubs.go
+
+# The final-verification artifacts EXPERIMENTS.md points at.
+outputs:
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -1,0 +1,106 @@
+// Command bindd runs a BIND server over real sockets.
+//
+// It serves both interfaces: the standard DNS-style query interface over
+// UDP, and the HRPC interface (Query/Update/Transfer — the "modified BIND"
+// of the HNS prototype) over TCP. A bindd with -update enabled and an
+// "hns" zone is a complete HNS meta-information repository.
+//
+// Usage:
+//
+//	bindd -host fiji -zone cs.washington.edu -update \
+//	      -records zone.txt -hrpc 127.0.0.1:5301 -std 127.0.0.1:5302
+//
+// Zone files use the line format of internal/bind.ParseZoneFile:
+//
+//	name  ttl  type  data...
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"hns/internal/bind"
+	"hns/internal/hrpc"
+	"hns/internal/simtime"
+	"hns/internal/transport"
+)
+
+// zoneList collects repeated -zone flags.
+type zoneList []string
+
+func (z *zoneList) String() string     { return strings.Join(*z, ",") }
+func (z *zoneList) Set(v string) error { *z = append(*z, v); return nil }
+
+func main() {
+	var (
+		host     = flag.String("host", "localhost", "descriptive host name")
+		zones    zoneList
+		update   = flag.Bool("update", false, "enable dynamic updates on all zones (the modified BIND)")
+		records  = flag.String("records", "", "zone file to load at startup")
+		hrpcAddr = flag.String("hrpc", "127.0.0.1:5301", "HRPC interface listen address (TCP)")
+		stdAddr  = flag.String("std", "127.0.0.1:5302", "standard interface listen address (UDP); empty disables")
+	)
+	flag.Var(&zones, "zone", "zone origin to be authoritative for (repeatable)")
+	flag.Parse()
+	if len(zones) == 0 {
+		log.Fatal("bindd: at least one -zone is required")
+	}
+
+	model := simtime.Default()
+	net := transport.NewNetwork(model)
+	srv := bind.NewServer(*host, model)
+	for _, origin := range zones {
+		z, err := bind.NewZone(origin, *update)
+		if err != nil {
+			log.Fatalf("bindd: %v", err)
+		}
+		if err := srv.AddZone(z); err != nil {
+			log.Fatalf("bindd: %v", err)
+		}
+	}
+	if *records != "" {
+		f, err := os.Open(*records)
+		if err != nil {
+			log.Fatalf("bindd: %v", err)
+		}
+		rrs, err := bind.ParseZoneFile(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("bindd: %v", err)
+		}
+		if err := srv.LoadRecords(rrs); err != nil {
+			log.Fatalf("bindd: %v", err)
+		}
+		log.Printf("bindd: loaded %d records from %s", len(rrs), *records)
+	}
+
+	hrpcLn, binding, err := hrpc.Serve(net, srv.HRPCServer(), hrpc.SuiteRawNet, *host, *hrpcAddr)
+	if err != nil {
+		log.Fatalf("bindd: hrpc listen: %v", err)
+	}
+	defer hrpcLn.Close()
+	log.Printf("bindd: %s serving HRPC interface %s, zones %v, updates=%v",
+		*host, binding, zones, *update)
+
+	if *stdAddr != "" {
+		stdLn, err := srv.ServeStd(net, "udp-net", *stdAddr)
+		if err != nil {
+			log.Fatalf("bindd: std listen: %v", err)
+		}
+		defer stdLn.Close()
+		log.Printf("bindd: %s serving standard interface on %s/udp", *host, stdLn.Addr())
+	}
+
+	waitForSignal()
+	log.Println("bindd: shutting down")
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}

@@ -1,0 +1,108 @@
+// Command hnsbench regenerates every table and figure of the paper's
+// evaluation (Section 3) on the simulated HCS environment and prints each
+// next to the paper's published numbers.
+//
+// Usage:
+//
+//	hnsbench -all                 # everything
+//	hnsbench -table 3.1           # one table
+//	hnsbench -table 3.2
+//	hnsbench -figure 2.1          # the query-processing trace
+//	hnsbench -prose findnsm       # one prose measurement:
+//	                              #   findnsm nsmcall underlying baselines
+//	                              #   preload breakeven marshalling nsmsize
+//
+// Absolute numbers come from the calibrated cost model
+// (internal/simtime.Model); the point of the harness is that the *shape* —
+// who wins, by what factor, where the crossovers fall — is produced by the
+// actual code paths: counts of remote calls, lookups, marshalling
+// operations, and cache probes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hns/internal/bind"
+	"hns/internal/world"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "", `table to regenerate ("3.1" or "3.2")`)
+		figure = flag.String("figure", "", `figure to regenerate ("2.1")`)
+		prose  = flag.String("prose", "", "prose measurement (findnsm nsmcall underlying baselines preload breakeven marshalling nsmsize scaling consistency hitratios broadcast)")
+		all    = flag.Bool("all", false, "run everything")
+		check  = flag.Bool("check", false, "regression gate: verify every Table 3.1 cell within ±20% of the paper and exit nonzero otherwise")
+	)
+	flag.Parse()
+
+	if !*all && *table == "" && *figure == "" && *prose == "" && !*check {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w, err := world.New(world.Config{CacheMode: bind.CacheMarshalled})
+	if err != nil {
+		fatal(err)
+	}
+	defer w.Close()
+	ctx := context.Background()
+
+	run := func(name string, fn func(ctx context.Context, w *world.World) error) {
+		if err := fn(ctx, w); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println()
+	}
+
+	if *check {
+		run("check", checkTable31)
+	}
+	if *all || *table == "3.1" {
+		run("table 3.1", printTable31)
+	}
+	if *all || *table == "3.2" {
+		run("table 3.2", printTable32)
+	}
+	if *all || *figure == "2.1" {
+		run("figure 2.1", printFigure21)
+	}
+	proseRunners := map[string]func(context.Context, *world.World) error{
+		"findnsm":     printFindNSM,
+		"nsmcall":     printNSMCall,
+		"underlying":  printUnderlying,
+		"baselines":   printBaselines,
+		"preload":     printPreload,
+		"breakeven":   printBreakEven,
+		"marshalling": printMarshalling,
+		"nsmsize":     printNSMSize,
+		"scaling":     printScaling,
+		"consistency": printConsistency,
+		"hitratios":   printHitRatios,
+		"broadcast":   printBroadcast,
+	}
+	if *all {
+		for _, name := range []string{"findnsm", "nsmcall", "underlying", "baselines",
+			"preload", "breakeven", "marshalling", "nsmsize", "scaling", "consistency",
+			"hitratios", "broadcast"} {
+			run("prose "+name, proseRunners[name])
+		}
+	} else if *prose != "" {
+		fn, ok := proseRunners[*prose]
+		if !ok {
+			fatal(fmt.Errorf("unknown prose measurement %q", *prose))
+		}
+		run("prose "+*prose, fn)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hnsbench:", err)
+	os.Exit(1)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,293 @@
+// Command hnsctl is the administrative and query client for a deployed
+// HNS federation (bindd + chd + hnsd + nsmd over real sockets).
+//
+// Subcommands:
+//
+//	hnsctl find    -hns 127.0.0.1:5310 <context> <individual> <queryclass>
+//	hnsctl resolve -hns 127.0.0.1:5310 <context> <individual>
+//	hnsctl lookup  -server 127.0.0.1:5302 <name> <type>
+//	hnsctl register-ns      -meta 127.0.0.1:5301 <name> <type>
+//	hnsctl register-context -meta 127.0.0.1:5301 <context> <nameservice>
+//	hnsctl register-nsm     -meta 127.0.0.1:5301 -name N -ns NS -qclass QC \
+//	                        -nsm-host H -hostctx C -port P -suite t,d,c
+//	hnsctl dump    -meta 127.0.0.1:5301
+//
+// Registrations write meta records through the modified BIND's dynamic
+// update interface; `dump` prints the whole meta zone as a zone file.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hns/internal/bind"
+	"hns/internal/core"
+	"hns/internal/hrpc"
+	"hns/internal/names"
+	"hns/internal/nsm"
+	"hns/internal/qclass"
+	"hns/internal/simtime"
+	"hns/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	env := &env{
+		net: transport.NewNetwork(simtime.Default()),
+	}
+	env.rpc = hrpc.NewClient(env.net)
+	defer env.rpc.Close()
+
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "find":
+		err = cmdFind(env, args, false)
+	case "resolve":
+		err = cmdFind(env, args, true)
+	case "lookup":
+		err = cmdLookup(env, args)
+	case "register-ns":
+		err = cmdRegisterNS(env, args)
+	case "register-context":
+		err = cmdRegisterContext(env, args)
+	case "register-nsm":
+		err = cmdRegisterNSM(env, args)
+	case "unregister-context":
+		err = cmdUnregister(env, args, "context")
+	case "unregister-nsm":
+		err = cmdUnregister(env, args, "nsm")
+	case "dump":
+		err = cmdDump(env, args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hnsctl %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump} [flags] args...")
+	os.Exit(2)
+}
+
+type env struct {
+	net *transport.Network
+	rpc *hrpc.Client
+}
+
+// metaClient opens the meta-BIND's HRPC interface.
+func (e *env) metaClient(addr string) *bind.HRPCClient {
+	c := hrpc.NewClient(e.net)
+	c.FreshConn = true
+	return bind.NewHRPCClient(c,
+		hrpc.SuiteRawNet.Bind(addr, addr, bind.HRPCProgram, bind.HRPCVersion))
+}
+
+func cmdFind(e *env, args []string, alsoResolve bool) error {
+	fs := flag.NewFlagSet("find", flag.ExitOnError)
+	hnsAddr := fs.String("hns", "127.0.0.1:5310", "hnsd address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	want := 3
+	if alsoResolve {
+		want = 2
+	}
+	if len(rest) != want {
+		return fmt.Errorf("want %d positional args, got %d", want, len(rest))
+	}
+	qc := qclass.HostAddress
+	if !alsoResolve {
+		qc = rest[2]
+	}
+	name, err := names.New(rest[0], rest[1])
+	if err != nil {
+		return err
+	}
+	finder := core.NewRemoteHNS(e.rpc,
+		hrpc.SuiteRawNet.Bind(*hnsAddr, *hnsAddr, core.HNSProgram, core.HNSVersion))
+	ctx := context.Background()
+	b, err := finder.FindNSM(ctx, name, qc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("NSM binding: %s\n", b)
+	if !alsoResolve {
+		return nil
+	}
+	addr, err := nsm.CallResolveHost(ctx, e.rpc, b, name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s -> %s\n", name, addr)
+	return nil
+}
+
+func cmdLookup(e *env, args []string) error {
+	fs := flag.NewFlagSet("lookup", flag.ExitOnError)
+	server := fs.String("server", "127.0.0.1:5302", "BIND standard-interface UDP address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("want <name> <type>")
+	}
+	t, err := bind.ParseRRType(rest[1])
+	if err != nil {
+		return err
+	}
+	std := bind.NewStdClient(e.net, "udp-net", *server)
+	defer std.Close()
+	rrs, err := std.Lookup(context.Background(), rest[0], t)
+	if err != nil {
+		return err
+	}
+	for _, rr := range rrs {
+		fmt.Println(rr)
+	}
+	return nil
+}
+
+func cmdRegisterNS(e *env, args []string) error {
+	fs := flag.NewFlagSet("register-ns", flag.ExitOnError)
+	meta := fs.String("meta", "127.0.0.1:5301", "meta-BIND HRPC address")
+	zone := fs.String("zone", "hns", "meta zone")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("want <name> <type>")
+	}
+	rr, err := core.NameServiceRecord(*zone, rest[0], rest[1])
+	if err != nil {
+		return err
+	}
+	return applyRecords(e, *meta, *zone, rr)
+}
+
+func cmdRegisterContext(e *env, args []string) error {
+	fs := flag.NewFlagSet("register-context", flag.ExitOnError)
+	meta := fs.String("meta", "127.0.0.1:5301", "meta-BIND HRPC address")
+	zone := fs.String("zone", "hns", "meta zone")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 2 {
+		return fmt.Errorf("want <context> <nameservice>")
+	}
+	rr, err := core.ContextRecord(*zone, rest[0], rest[1])
+	if err != nil {
+		return err
+	}
+	return applyRecords(e, *meta, *zone, rr)
+}
+
+func cmdRegisterNSM(e *env, args []string) error {
+	fs := flag.NewFlagSet("register-nsm", flag.ExitOnError)
+	meta := fs.String("meta", "127.0.0.1:5301", "meta-BIND HRPC address")
+	zone := fs.String("zone", "hns", "meta zone")
+	name := fs.String("name", "", "NSM name")
+	ns := fs.String("ns", "", "name service")
+	qc := fs.String("qclass", "", "query class")
+	nsmHost := fs.String("nsm-host", "", "host the NSM runs on (individual name)")
+	hostctx := fs.String("hostctx", "", "context resolving that host")
+	port := fs.String("port", "", "NSM endpoint port/suffix on the host")
+	suite := fs.String("suite", "udp-net,xdr,sunrpc", "transport,datarep,control")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parts := strings.Split(*suite, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("-suite wants transport,datarep,control")
+	}
+	rrs, err := core.NSMRecords(*zone, core.NSMInfo{
+		Name: *name, NameService: *ns, QueryClass: *qc,
+		Host: *nsmHost, HostContext: *hostctx, Port: *port,
+		Suite: hrpc.Suite{Transport: parts[0], DataRep: parts[1], Control: parts[2]},
+	})
+	if err != nil {
+		return err
+	}
+	return applyRecords(e, *meta, *zone, rrs...)
+}
+
+func applyRecords(e *env, metaAddr, zone string, rrs ...bind.RR) error {
+	mc := e.metaClient(metaAddr)
+	ctx := context.Background()
+	for _, rr := range rrs {
+		serial, err := mc.Update(ctx, zone, bind.UpdateAdd, rr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("added %s (zone serial %d)\n", rr, serial)
+	}
+	return nil
+}
+
+// cmdUnregister removes a context mapping or an NSM's records.
+func cmdUnregister(e *env, args []string, kind string) error {
+	fs := flag.NewFlagSet("unregister-"+kind, flag.ExitOnError)
+	meta := fs.String("meta", "127.0.0.1:5301", "meta-BIND HRPC address")
+	zone := fs.String("zone", "hns", "meta zone")
+	ns := fs.String("ns", "", "name service (unregister-nsm)")
+	qc := fs.String("qclass", "", "query class (unregister-nsm)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) != 1 {
+		return fmt.Errorf("want one positional argument (the %s name)", kind)
+	}
+	mc := e.metaClient(*meta)
+	ctx := context.Background()
+	remove := func(owner string) error {
+		serial, err := mc.Update(ctx, *zone, bind.UpdateRemove,
+			bind.RR{Name: owner, Type: bind.TypeHNSMeta})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("removed %s (zone serial %d)\n", owner, serial)
+		return nil
+	}
+	switch kind {
+	case "context":
+		return remove(rest[0] + ".ctx." + *zone)
+	default: // nsm
+		if *ns == "" || *qc == "" {
+			return fmt.Errorf("unregister-nsm needs -ns and -qclass")
+		}
+		if err := remove(*qc + "." + *ns + ".qc." + *zone); err != nil {
+			return err
+		}
+		return remove(rest[0] + ".nsm." + *zone)
+	}
+}
+
+func cmdDump(e *env, args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	meta := fs.String("meta", "127.0.0.1:5301", "meta-BIND HRPC address")
+	zone := fs.String("zone", "hns", "meta zone")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mc := e.metaClient(*meta)
+	serial, rrs, err := mc.Transfer(context.Background(), *zone)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("; zone %s serial %d (%d records)\n", *zone, serial, len(rrs))
+	fmt.Print(bind.FormatZoneFile(rrs))
+	return nil
+}

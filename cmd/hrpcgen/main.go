@@ -1,0 +1,64 @@
+// Command hrpcgen is the HRPC stub compiler: it reads an interface
+// description (see internal/idl) and emits Go stub code — typed client,
+// handler interface, server wiring, and marshalling glue.
+//
+// Usage:
+//
+//	hrpcgen -in greeter.idl -out greeter_stubs.go -pkg greeter
+//
+// The checked-in package internal/gen/greeter is hrpcgen output; its test
+// regenerates and diffs it, so `go test ./...` fails if the stubs drift
+// from their IDL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"log"
+	"os"
+
+	"hns/internal/idl"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "interface description file (required)")
+		out = flag.String("out", "", "output Go file (default stdout)")
+		pkg = flag.String("pkg", "", "package name for the generated code (required)")
+	)
+	flag.Parse()
+	if *in == "" || *pkg == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatalf("hrpcgen: %v", err)
+	}
+	iface, err := idl.Parse(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("hrpcgen: %v", err)
+	}
+	src, err := idl.Generate(iface, *pkg)
+	if err != nil {
+		log.Fatalf("hrpcgen: %v", err)
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		// Emit the unformatted source to ease debugging, but fail.
+		os.Stderr.Write(src)
+		log.Fatalf("hrpcgen: generated code does not parse: %v", err)
+	}
+	if *out == "" {
+		os.Stdout.Write(formatted)
+		return
+	}
+	if err := os.WriteFile(*out, formatted, 0o644); err != nil {
+		log.Fatalf("hrpcgen: %v", err)
+	}
+	fmt.Printf("hrpcgen: wrote %s (%s program %d.%d, %d procs)\n",
+		*out, iface.Program, iface.Number, iface.Version, len(iface.Procs))
+}

@@ -1,0 +1,3 @@
+module hns
+
+go 1.22

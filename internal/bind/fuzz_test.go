@@ -1,0 +1,87 @@
+package bind
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets for the wire-facing parsers. `go test` runs the seed
+// corpus; `go test -fuzz=FuzzDecodeMessage ./internal/bind` explores.
+
+func FuzzDecodeMessage(f *testing.F) {
+	// Seeds: a real query, a real response, and junk.
+	q, _ := EncodeMessage(&Message{ID: 1, QName: "fiji.cs.washington.edu", QType: TypeA})
+	r, _ := EncodeMessage(&Message{
+		ID: 2, Response: true, QName: "a.b", QType: TypeTXT,
+		Answers: []RR{TXT("a.b", "hello", 60), A("a.b", "1.2.3.4", 60)},
+	})
+	f.Add(q)
+	f.Add(r)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		// Round-trip invariant: anything we accept re-encodes and decodes
+		// to the same message.
+		buf, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("accepted message does not re-encode: %v (%+v)", err, m)
+		}
+		m2, err := DecodeMessage(buf)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		if m.ID != m2.ID || m.QName != m2.QName || len(m.Answers) != len(m2.Answers) {
+			t.Fatalf("round trip changed message: %+v vs %+v", m, m2)
+		}
+		for i := range m.Answers {
+			if !m.Answers[i].Equal(m2.Answers[i]) {
+				t.Fatalf("answer %d changed", i)
+			}
+		}
+	})
+}
+
+func FuzzParseZoneFile(f *testing.F) {
+	f.Add(sampleZoneFile)
+	f.Add("name 600 A data\n")
+	f.Add("; only a comment\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		rrs, err := ParseZoneFile(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		// Anything accepted must survive format → parse unchanged.
+		back, err := ParseZoneFile(strings.NewReader(FormatZoneFile(rrs)))
+		if err != nil {
+			t.Fatalf("formatted zone does not re-parse: %v", err)
+		}
+		if len(back) != len(rrs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(rrs), len(back))
+		}
+	})
+}
+
+func FuzzCanonicalName(f *testing.F) {
+	f.Add("FIJI.cs.washington.edu")
+	f.Add("..")
+	f.Add(strings.Repeat("a.", 200))
+	f.Fuzz(func(t *testing.T, name string) {
+		c, err := CanonicalName(name)
+		if err != nil {
+			return
+		}
+		// Canonicalization is idempotent.
+		c2, err := CanonicalName(c)
+		if err != nil || c2 != c {
+			t.Fatalf("not idempotent: %q -> %q, %v", c, c2, err)
+		}
+		if bytes.ContainsAny([]byte(c), " \t\n") {
+			t.Fatalf("whitespace survived: %q", c)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package bind implements a BIND-class domain name server and resolver —
+// the Berkeley Internet Name Domain server (Terry et al. 1984) as the HNS
+// prototype used it.
+//
+// Two faces are provided, matching the prototype's two BIND interfaces:
+//
+//   - The standard interface: a compact DNS-style wire format with
+//     hand-coded marshalling, used for ordinary lookups. This is the
+//     "standard BIND library routines" whose marshalling cost the paper
+//     measured at 0.65/2.6 ms.
+//   - The HRPC interface: Query/Update/Transfer procedures served over the
+//     Raw HRPC suite with stub-compiler ("generated") marshalling — the
+//     interface the HNS uses for its meta-naming repository, and the one
+//     whose marshalling expense motivated Table 3.2. Dynamic update and
+//     zone transfer (used for cache preloading) live here, mirroring the
+//     authors' modified BIND [Schwartz 1987].
+//
+// The server is authoritative over a set of zones; the resolver caches
+// answers by TTL in marshalled or demarshalled form.
+package bind
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RRType is a resource-record type code. Values follow the DNS assignments
+// of the era.
+type RRType uint16
+
+// Resource record types. TypeHNSMeta is the "data of unspecified type" the
+// authors added to BIND for the HNS meta-information; it lives in the
+// private-use range.
+const (
+	TypeA     RRType = 1
+	TypeNS    RRType = 2
+	TypeCNAME RRType = 5
+	TypeSOA   RRType = 6
+	TypeWKS   RRType = 11
+	TypePTR   RRType = 12
+	TypeHINFO RRType = 13
+	TypeTXT   RRType = 16
+
+	TypeHNSMeta RRType = 65280
+)
+
+// String implements fmt.Stringer.
+func (t RRType) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypeWKS:
+		return "WKS"
+	case TypePTR:
+		return "PTR"
+	case TypeHINFO:
+		return "HINFO"
+	case TypeTXT:
+		return "TXT"
+	case TypeHNSMeta:
+		return "HNSMETA"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// ClassIN is the only record class implemented (Internet).
+const ClassIN uint16 = 1
+
+// MaxRDataLen bounds record data: "each of which can be up to 256 bytes of
+// data" (paper, footnote 9).
+const MaxRDataLen = 256
+
+// MaxNameLen bounds a domain name, per the DNS specification of the era.
+const MaxNameLen = 255
+
+// RR is one resource record. Separate records under one name store
+// alternate data (e.g. multiple addresses for gateway hosts).
+type RR struct {
+	// Name is the owner name, canonical (lower case, no trailing dot).
+	Name string
+	// Type is the record type.
+	Type RRType
+	// Class is the record class (always ClassIN here).
+	Class uint16
+	// TTL is the time-to-live in seconds.
+	TTL uint32
+	// Data is the record payload, at most MaxRDataLen bytes. Address
+	// records store the textual transport address; HNSMETA records store
+	// HNS meta-information.
+	Data []byte
+}
+
+// String implements fmt.Stringer.
+func (r RR) String() string {
+	return fmt.Sprintf("%s %d %s %q", r.Name, r.TTL, r.Type, r.Data)
+}
+
+// Errors reported by record and name validation.
+var (
+	ErrBadName    = errors.New("bind: malformed domain name")
+	ErrDataTooBig = errors.New("bind: record data exceeds 256 bytes")
+)
+
+// CanonicalName lower-cases a domain name and strips one trailing dot,
+// returning an error for names that are empty, too long, or contain empty
+// labels or whitespace.
+func CanonicalName(name string) (string, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return "", fmt.Errorf("%w: empty name", ErrBadName)
+	}
+	if len(name) > MaxNameLen {
+		return "", fmt.Errorf("%w: %d bytes", ErrBadName, len(name))
+	}
+	name = strings.ToLower(name)
+	for _, label := range strings.Split(name, ".") {
+		if label == "" {
+			return "", fmt.Errorf("%w: empty label in %q", ErrBadName, name)
+		}
+		if len(label) > 63 {
+			return "", fmt.Errorf("%w: label %q exceeds 63 bytes", ErrBadName, label)
+		}
+		for _, c := range label {
+			if c == ' ' || c == '\t' || c == '\n' {
+				return "", fmt.Errorf("%w: whitespace in %q", ErrBadName, name)
+			}
+		}
+	}
+	return name, nil
+}
+
+// Validate checks the record for well-formedness and canonicalizes its
+// name in place.
+func (r *RR) Validate() error {
+	name, err := CanonicalName(r.Name)
+	if err != nil {
+		return err
+	}
+	r.Name = name
+	if len(r.Data) > MaxRDataLen {
+		return fmt.Errorf("%w: %d bytes on %s", ErrDataTooBig, len(r.Data), r.Name)
+	}
+	if r.Class == 0 {
+		r.Class = ClassIN
+	}
+	return nil
+}
+
+// Equal reports whether two records are identical apart from TTL (the DNS
+// notion of a duplicate for update purposes).
+func (r RR) Equal(o RR) bool {
+	return r.Name == o.Name && r.Type == o.Type && r.Class == o.Class &&
+		string(r.Data) == string(o.Data)
+}
+
+// Record constructors for the common cases.
+
+// A builds an address record mapping name to the transport address addr.
+func A(name, addr string, ttl uint32) RR {
+	return RR{Name: name, Type: TypeA, Class: ClassIN, TTL: ttl, Data: []byte(addr)}
+}
+
+// CNAME builds an alias record.
+func CNAME(name, target string, ttl uint32) RR {
+	return RR{Name: name, Type: TypeCNAME, Class: ClassIN, TTL: ttl, Data: []byte(target)}
+}
+
+// TXT builds a text record.
+func TXT(name, text string, ttl uint32) RR {
+	return RR{Name: name, Type: TypeTXT, Class: ClassIN, TTL: ttl, Data: []byte(text)}
+}
+
+// HNSMeta builds an unspecified-type record carrying HNS meta-information.
+func HNSMeta(name, payload string, ttl uint32) RR {
+	return RR{Name: name, Type: TypeHNSMeta, Class: ClassIN, TTL: ttl, Data: []byte(payload)}
+}
+
+// HINFO builds a host-information record.
+func HINFO(name, cpuOS string, ttl uint32) RR {
+	return RR{Name: name, Type: TypeHINFO, Class: ClassIN, TTL: ttl, Data: []byte(cpuOS)}
+}
+
+// SortRRs orders records deterministically (name, type, data) — used by
+// zone transfers so preload contents are stable.
+func SortRRs(rrs []RR) {
+	sort.Slice(rrs, func(i, j int) bool {
+		a, b := rrs[i], rrs[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return string(a.Data) < string(b.Data)
+	})
+}
+
+// MinTTL returns the smallest TTL among records, which is what a cache must
+// honour for the set; 0 if the set is empty.
+func MinTTL(rrs []RR) uint32 {
+	if len(rrs) == 0 {
+		return 0
+	}
+	min := rrs[0].TTL
+	for _, r := range rrs[1:] {
+		if r.TTL < min {
+			min = r.TTL
+		}
+	}
+	return min
+}

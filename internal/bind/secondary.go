@@ -1,0 +1,87 @@
+package bind
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hns/internal/simtime"
+)
+
+// Secondary mirrors one zone from a primary server by serial-checked zone
+// transfers — the replication arrangement real BIND used and the paper's
+// implementation leaned on ("its implementation must be distributed and
+// replicated for the usual reasons of performance, availability, and
+// scalability"; the preloading experiment reuses exactly this transfer
+// path). A Secondary embeds its own authoritative Server, so it answers
+// queries for the mirrored zone like any other server.
+type Secondary struct {
+	primary *HRPCClient
+	origin  string
+	server  *Server
+	zone    *Zone
+
+	mu       sync.Mutex
+	serial   uint32
+	refreshN int
+}
+
+// NewSecondary creates a secondary for the named zone, serving on a local
+// Server for host. The initial contents are empty until Refresh runs.
+func NewSecondary(primary *HRPCClient, zoneOrigin, host string, model *simtime.Model) (*Secondary, error) {
+	z, err := NewZone(zoneOrigin, false) // mirrors never accept updates
+	if err != nil {
+		return nil, err
+	}
+	srv := NewServer(host, model)
+	if err := srv.AddZone(z); err != nil {
+		return nil, err
+	}
+	return &Secondary{primary: primary, origin: z.Origin(), server: srv, zone: z}, nil
+}
+
+// Server returns the serving face of the mirror.
+func (s *Secondary) Server() *Server { return s.server }
+
+// Serial reports the serial of the last transferred contents (0 before
+// the first refresh).
+func (s *Secondary) Serial() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serial
+}
+
+// Refreshes reports how many refreshes performed a transfer.
+func (s *Secondary) Refreshes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refreshN
+}
+
+// Refresh checks the primary's serial and transfers the zone if it moved,
+// reporting whether a transfer happened. The serial probe is cheap; the
+// transfer pays the full per-record cost.
+func (s *Secondary) Refresh(ctx context.Context) (bool, error) {
+	remote, err := s.primary.Serial(ctx, s.origin)
+	if err != nil {
+		return false, fmt.Errorf("bind: secondary %s: %w", s.origin, err)
+	}
+	s.mu.Lock()
+	current := s.serial
+	s.mu.Unlock()
+	if remote == current {
+		return false, nil
+	}
+	serial, rrs, err := s.primary.Transfer(ctx, s.origin)
+	if err != nil {
+		return false, fmt.Errorf("bind: secondary %s: %w", s.origin, err)
+	}
+	if err := s.zone.Replace(rrs, serial); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	s.serial = serial
+	s.refreshN++
+	s.mu.Unlock()
+	return true, nil
+}

@@ -1,0 +1,382 @@
+package bind
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hns/internal/hrpc"
+	"hns/internal/marshal"
+	"hns/internal/simtime"
+	"hns/internal/transport"
+)
+
+// Server is an authoritative BIND server over a set of zones. One Server
+// can expose both the standard interface and the HRPC interface at once
+// (the prototype ran a conventional BIND and a separate modified BIND; a
+// deployment here does the same by running two Servers).
+type Server struct {
+	host  string
+	model *simtime.Model
+
+	mu    sync.RWMutex
+	zones []*Zone // sorted longest-origin-first for suffix matching
+}
+
+// NewServer creates a zoneless server on host.
+func NewServer(host string, model *simtime.Model) *Server {
+	return &Server{host: host, model: model}
+}
+
+// Host reports the server's host name.
+func (s *Server) Host() string { return s.host }
+
+// AddZone makes the server authoritative for z. Duplicate origins are
+// rejected.
+func (s *Server) AddZone(z *Zone) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, have := range s.zones {
+		if have.Origin() == z.Origin() {
+			return fmt.Errorf("bind: already authoritative for %s", z.Origin())
+		}
+	}
+	s.zones = append(s.zones, z)
+	sort.Slice(s.zones, func(i, j int) bool {
+		return len(s.zones[i].Origin()) > len(s.zones[j].Origin())
+	})
+	return nil
+}
+
+// Zone returns the zone with the given origin, or nil.
+func (s *Server) Zone(origin string) *Zone {
+	origin, err := CanonicalName(origin)
+	if err != nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, z := range s.zones {
+		if z.Origin() == origin {
+			return z
+		}
+	}
+	return nil
+}
+
+// findZone locates the longest-origin zone containing name.
+func (s *Server) findZone(name string) *Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, z := range s.zones {
+		if z.Contains(name) {
+			return z
+		}
+	}
+	return nil
+}
+
+// Query answers one lookup, charging the server-side lookup cost.
+func (s *Server) Query(ctx context.Context, name string, t RRType) (RCode, []RR) {
+	simtime.Charge(ctx, s.model.BindServerLookup)
+	name, err := CanonicalName(name)
+	if err != nil {
+		return RCodeFormErr, nil
+	}
+	z := s.findZone(name)
+	if z == nil {
+		return RCodeRefused, nil // not authoritative
+	}
+	rrs, err := z.Lookup(name, t)
+	if err != nil {
+		return RCodeServFail, nil
+	}
+	if len(rrs) == 0 {
+		return RCodeNXDomain, nil
+	}
+	return RCodeOK, rrs
+}
+
+// Update operations for the dynamic-update extension.
+const (
+	UpdateAdd    = 0
+	UpdateRemove = 1
+)
+
+// Update applies a dynamic update to the named zone, charging the
+// server-side update cost. Only zones created with allowUpdate accept it.
+func (s *Server) Update(ctx context.Context, zoneOrigin string, op uint32, rr RR) (RCode, uint32, error) {
+	simtime.Charge(ctx, s.model.BindServerUpdate)
+	z := s.Zone(zoneOrigin)
+	if z == nil {
+		return RCodeRefused, 0, fmt.Errorf("bind: not authoritative for %q", zoneOrigin)
+	}
+	if !z.AllowsUpdate() {
+		return RCodeRefused, z.Serial(), ErrUpdateDenied
+	}
+	var err error
+	switch op {
+	case UpdateAdd:
+		err = z.Add(rr)
+	case UpdateRemove:
+		err = z.Remove(rr)
+	default:
+		return RCodeNotImp, z.Serial(), fmt.Errorf("bind: unknown update op %d", op)
+	}
+	if err != nil {
+		return RCodeServFail, z.Serial(), err
+	}
+	return RCodeOK, z.Serial(), nil
+}
+
+// Transfer returns the zone's full contents (AXFR), charging the per-record
+// transfer cost — the mechanism the HNS uses to preload its cache.
+func (s *Server) Transfer(ctx context.Context, zoneOrigin string) (RCode, uint32, []RR) {
+	z := s.Zone(zoneOrigin)
+	if z == nil {
+		return RCodeRefused, 0, nil
+	}
+	rrs := z.All()
+	simtime.Charge(ctx, s.model.ZoneXfer(len(rrs)))
+	return RCodeOK, z.Serial(), rrs
+}
+
+// ---- Standard interface (DNS-style wire, hand marshalling).
+
+// StdHandler adapts the server to the standard wire protocol. Query only —
+// the conventional BIND of the era had no dynamic update or client-visible
+// transfer call.
+func (s *Server) StdHandler() transport.Handler {
+	return func(ctx context.Context, req []byte) ([]byte, error) {
+		q, err := DecodeMessage(req)
+		resp := &Message{Response: true, QName: "invalid"}
+		if err != nil {
+			// The question may be unrecoverable; answer FORMERR with a
+			// placeholder name so the response still encodes.
+			resp.RCode = RCodeFormErr
+			return EncodeMessage(resp)
+		}
+		resp.ID = q.ID
+		resp.QName = q.QName
+		resp.QType = q.QType
+		if q.Response {
+			resp.RCode = RCodeFormErr
+			return EncodeMessage(resp)
+		}
+		resp.RCode, resp.Answers = s.Query(ctx, q.QName, q.QType)
+		return EncodeMessage(resp)
+	}
+}
+
+// ServeStd binds the standard interface at addr over the named transport
+// (conventionally "udp"; port 53 in spirit).
+func (s *Server) ServeStd(net *transport.Network, transportName, addr string) (transport.Listener, error) {
+	tr, err := net.Transport(transportName)
+	if err != nil {
+		return nil, err
+	}
+	return tr.Listen(addr, s.StdHandler())
+}
+
+// ---- HRPC interface (Raw suite, generated marshalling).
+
+// HRPCProgram and HRPCVersion identify the BIND HRPC interface.
+const (
+	HRPCProgram = 100017
+	HRPCVersion = 1
+)
+
+// rrType is the IDL shape of one resource record on the HRPC interface.
+var rrType = marshal.TStruct(
+	marshal.TString, // name
+	marshal.TUint32, // type
+	marshal.TUint32, // class
+	marshal.TUint32, // ttl
+	marshal.TBytes,  // data
+)
+
+// The HRPC procedures. Marshalling is priced explicitly per message by
+// record count (Table 3.2), so the stubs use StyleNone.
+var (
+	procQuery = hrpc.Procedure{
+		Name: "BINDQuery", ID: 1,
+		Args:  marshal.TStruct(marshal.TString, marshal.TUint32),
+		Ret:   marshal.TStruct(marshal.TUint32, marshal.TList(rrType)),
+		Style: marshal.StyleNone,
+	}
+	procUpdate = hrpc.Procedure{
+		Name: "BINDUpdate", ID: 2,
+		Args:  marshal.TStruct(marshal.TString, marshal.TUint32, rrType),
+		Ret:   marshal.TStruct(marshal.TUint32, marshal.TUint32),
+		Style: marshal.StyleNone,
+	}
+	procTransfer = hrpc.Procedure{
+		Name: "BINDTransfer", ID: 3,
+		Args:  marshal.TStruct(marshal.TString),
+		Ret:   marshal.TStruct(marshal.TUint32, marshal.TUint32, marshal.TList(rrType)),
+		Style: marshal.StyleNone,
+	}
+	procSerial = hrpc.Procedure{
+		Name: "BINDSerial", ID: 4,
+		Args:  marshal.TStruct(marshal.TString),
+		Ret:   marshal.TStruct(marshal.TUint32, marshal.TUint32),
+		Style: marshal.StyleNone,
+	}
+)
+
+func rrToValue(rr RR) marshal.Value {
+	return marshal.StructV(
+		marshal.Str(rr.Name),
+		marshal.U32(uint32(rr.Type)),
+		marshal.U32(uint32(rr.Class)),
+		marshal.U32(rr.TTL),
+		marshal.BytesV(rr.Data),
+	)
+}
+
+func valueToRR(v marshal.Value) (RR, error) {
+	if v.Kind != marshal.KindStruct || v.Len() != 5 {
+		return RR{}, fmt.Errorf("bind: bad RR value %v", v)
+	}
+	name, err := v.Items[0].AsString()
+	if err != nil {
+		return RR{}, err
+	}
+	t, err := v.Items[1].AsU32()
+	if err != nil {
+		return RR{}, err
+	}
+	class, err := v.Items[2].AsU32()
+	if err != nil {
+		return RR{}, err
+	}
+	ttl, err := v.Items[3].AsU32()
+	if err != nil {
+		return RR{}, err
+	}
+	data, err := v.Items[4].AsBytes()
+	if err != nil {
+		return RR{}, err
+	}
+	return RR{Name: name, Type: RRType(t), Class: uint16(class), TTL: ttl, Data: data}, nil
+}
+
+func rrsToList(rrs []RR) marshal.Value {
+	items := make([]marshal.Value, 0, len(rrs))
+	for _, rr := range rrs {
+		items = append(items, rrToValue(rr))
+	}
+	return marshal.ListV(items...)
+}
+
+func listToRRs(v marshal.Value) ([]RR, error) {
+	out := make([]RR, 0, v.Len())
+	for _, it := range v.Items {
+		rr, err := valueToRR(it)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}
+
+// HRPCServer wraps the server in the HRPC interface program.
+func (s *Server) HRPCServer() *hrpc.Server {
+	hs := hrpc.NewServer("bind-hrpc@"+s.host, HRPCProgram, HRPCVersion)
+	hs.Register(procQuery, func(ctx context.Context, args marshal.Value) (marshal.Value, error) {
+		name, err := args.Items[0].AsString()
+		if err != nil {
+			return marshal.Value{}, err
+		}
+		qt, err := args.Items[1].AsU32()
+		if err != nil {
+			return marshal.Value{}, err
+		}
+		rcode, rrs := s.Query(ctx, name, RRType(qt))
+		return marshal.StructV(marshal.U32(uint32(rcode)), rrsToList(rrs)), nil
+	})
+	hs.Register(procUpdate, func(ctx context.Context, args marshal.Value) (marshal.Value, error) {
+		zone, err := args.Items[0].AsString()
+		if err != nil {
+			return marshal.Value{}, err
+		}
+		op, err := args.Items[1].AsU32()
+		if err != nil {
+			return marshal.Value{}, err
+		}
+		rr, err := valueToRR(args.Items[2])
+		if err != nil {
+			return marshal.Value{}, err
+		}
+		rcode, serial, uerr := s.Update(ctx, zone, op, rr)
+		if uerr != nil && rcode != RCodeOK {
+			return marshal.Value{}, fmt.Errorf("%s: %v", rcode, uerr)
+		}
+		return marshal.StructV(marshal.U32(uint32(rcode)), marshal.U32(serial)), nil
+	})
+	hs.Register(procTransfer, func(ctx context.Context, args marshal.Value) (marshal.Value, error) {
+		zone, err := args.Items[0].AsString()
+		if err != nil {
+			return marshal.Value{}, err
+		}
+		rcode, serial, rrs := s.Transfer(ctx, zone)
+		return marshal.StructV(marshal.U32(uint32(rcode)), marshal.U32(serial), rrsToList(rrs)), nil
+	})
+	hs.Register(procSerial, func(ctx context.Context, args marshal.Value) (marshal.Value, error) {
+		zone, err := args.Items[0].AsString()
+		if err != nil {
+			return marshal.Value{}, err
+		}
+		z := s.Zone(zone)
+		if z == nil {
+			return marshal.StructV(marshal.U32(uint32(RCodeRefused)), marshal.U32(0)), nil
+		}
+		return marshal.StructV(marshal.U32(uint32(RCodeOK)), marshal.U32(z.Serial())), nil
+	})
+	return hs
+}
+
+// ServeHRPC binds the HRPC interface at addr over the Raw suite (as the
+// prototype did) and returns the listener plus the binding.
+func (s *Server) ServeHRPC(net *transport.Network, addr string) (transport.Listener, hrpc.Binding, error) {
+	return hrpc.Serve(net, s.HRPCServer(), hrpc.SuiteRaw, s.host, addr)
+}
+
+// LoadRecords bulk-adds records to the server's zones, routing each to the
+// zone containing it. Useful for test and daemon setup.
+func (s *Server) LoadRecords(rrs []RR) error {
+	for _, rr := range rrs {
+		name, err := CanonicalName(rr.Name)
+		if err != nil {
+			return err
+		}
+		z := s.findZone(name)
+		if z == nil {
+			return fmt.Errorf("bind: no zone for %s", name)
+		}
+		if err := z.Add(rr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ZoneOrigins lists the origins the server is authoritative for.
+func (s *Server) ZoneOrigins() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.zones))
+	for _, z := range s.zones {
+		out = append(out, z.Origin())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s *Server) String() string {
+	return fmt.Sprintf("bind[%s zones=%s]", s.host, strings.Join(s.ZoneOrigins(), ","))
+}

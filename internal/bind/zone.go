@@ -1,0 +1,232 @@
+package bind
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Errors reported by zone operations.
+var (
+	ErrNotInZone      = errors.New("bind: name not within zone")
+	ErrUpdateDenied   = errors.New("bind: dynamic update not enabled for zone")
+	ErrNoSuchRecord   = errors.New("bind: no such record")
+	ErrCNAMEConflict  = errors.New("bind: CNAME cannot coexist with other records")
+	ErrTooManyAliases = errors.New("bind: CNAME chain too long")
+)
+
+// Zone is one authoritative zone: an origin, a serial, and the records at
+// or below the origin. Zones are safe for concurrent use.
+type Zone struct {
+	origin string
+	// allowUpdate marks the authors' modified BIND: only such zones
+	// accept dynamic updates over the HRPC interface.
+	allowUpdate bool
+
+	mu      sync.RWMutex
+	serial  uint32
+	records map[string][]RR // keyed by owner name; mixed types per name
+}
+
+// NewZone creates an empty zone rooted at origin. allowUpdate enables the
+// dynamic-update extension (the HNS meta-zones need it; conventional zones
+// do not).
+func NewZone(origin string, allowUpdate bool) (*Zone, error) {
+	o, err := CanonicalName(origin)
+	if err != nil {
+		return nil, err
+	}
+	return &Zone{
+		origin:      o,
+		allowUpdate: allowUpdate,
+		serial:      1,
+		records:     make(map[string][]RR),
+	}, nil
+}
+
+// Origin reports the zone's origin name.
+func (z *Zone) Origin() string { return z.origin }
+
+// AllowsUpdate reports whether the zone accepts dynamic updates.
+func (z *Zone) AllowsUpdate() bool { return z.allowUpdate }
+
+// Serial reports the zone's current serial number; every mutation bumps
+// it, as secondaries (and the HNS preloader) rely on.
+func (z *Zone) Serial() uint32 {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.serial
+}
+
+// Contains reports whether name falls at or below the zone origin.
+func (z *Zone) Contains(name string) bool {
+	return name == z.origin || strings.HasSuffix(name, "."+z.origin)
+}
+
+// Add installs a record (validated and canonicalized first). Duplicate
+// records (same name/type/data) replace the existing one, refreshing its
+// TTL. Adding a CNAME where other records exist — or vice versa — is
+// rejected, per DNS rules.
+func (z *Zone) Add(rr RR) error {
+	if err := (&rr).Validate(); err != nil {
+		return err
+	}
+	if !z.Contains(rr.Name) {
+		return fmt.Errorf("%w: %s not under %s", ErrNotInZone, rr.Name, z.origin)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	existing := z.records[rr.Name]
+	for _, e := range existing {
+		if rr.Type == TypeCNAME && e.Type != TypeCNAME {
+			return fmt.Errorf("%w: %s already has %s records", ErrCNAMEConflict, rr.Name, e.Type)
+		}
+		if rr.Type != TypeCNAME && e.Type == TypeCNAME {
+			return fmt.Errorf("%w: %s is an alias", ErrCNAMEConflict, rr.Name)
+		}
+	}
+	for i, e := range existing {
+		if e.Equal(rr) {
+			z.records[rr.Name][i] = rr // refresh TTL
+			z.serial++
+			return nil
+		}
+	}
+	z.records[rr.Name] = append(existing, rr)
+	z.serial++
+	return nil
+}
+
+// Remove deletes the record matching rr by name/type/data. A nil/empty
+// Data removes every record of that name and type.
+func (z *Zone) Remove(rr RR) error {
+	if err := (&rr).Validate(); err != nil {
+		return err
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	existing, ok := z.records[rr.Name]
+	if !ok {
+		return fmt.Errorf("%w: %s %s", ErrNoSuchRecord, rr.Name, rr.Type)
+	}
+	kept := existing[:0]
+	removed := 0
+	for _, e := range existing {
+		match := e.Type == rr.Type && (len(rr.Data) == 0 || string(e.Data) == string(rr.Data))
+		if match {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed == 0 {
+		return fmt.Errorf("%w: %s %s %q", ErrNoSuchRecord, rr.Name, rr.Type, rr.Data)
+	}
+	if len(kept) == 0 {
+		delete(z.records, rr.Name)
+	} else {
+		z.records[rr.Name] = kept
+	}
+	z.serial++
+	return nil
+}
+
+// Lookup returns the records of the given type at name, following CNAME
+// chains (to a depth of 8). The returned slice is a copy.
+func (z *Zone) Lookup(name string, t RRType) ([]RR, error) {
+	name, err := CanonicalName(name)
+	if err != nil {
+		return nil, err
+	}
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	for hop := 0; hop < 8; hop++ {
+		rrs := z.records[name]
+		if len(rrs) == 0 {
+			return nil, nil
+		}
+		// Direct match?
+		var out []RR
+		for _, r := range rrs {
+			if r.Type == t {
+				out = append(out, r)
+			}
+		}
+		if len(out) > 0 {
+			return append([]RR(nil), out...), nil
+		}
+		// Alias?
+		var alias string
+		for _, r := range rrs {
+			if r.Type == TypeCNAME {
+				alias = string(r.Data)
+				break
+			}
+		}
+		if alias == "" {
+			return nil, nil
+		}
+		if alias, err = CanonicalName(alias); err != nil {
+			return nil, err
+		}
+		name = alias
+	}
+	return nil, ErrTooManyAliases
+}
+
+// All returns every record in the zone, deterministically ordered — the
+// payload of an AXFR-style transfer.
+func (z *Zone) All() []RR {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	out := make([]RR, 0, len(z.records))
+	for _, rrs := range z.records {
+		out = append(out, rrs...)
+	}
+	SortRRs(out)
+	return out
+}
+
+// Count reports the number of records in the zone.
+func (z *Zone) Count() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	n := 0
+	for _, rrs := range z.records {
+		n += len(rrs)
+	}
+	return n
+}
+
+// Replace swaps the zone's entire contents for rrs at the given serial —
+// the receiving half of a zone transfer. Every record must validate and
+// fall within the zone.
+func (z *Zone) Replace(rrs []RR, serial uint32) error {
+	fresh := make(map[string][]RR, len(rrs))
+	for _, rr := range rrs {
+		if err := (&rr).Validate(); err != nil {
+			return err
+		}
+		if !z.Contains(rr.Name) {
+			return fmt.Errorf("%w: %s not under %s", ErrNotInZone, rr.Name, z.origin)
+		}
+		fresh[rr.Name] = append(fresh[rr.Name], rr)
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.records = fresh
+	z.serial = serial
+	return nil
+}
+
+// Names returns the owner names present in the zone (unsorted).
+func (z *Zone) Names() []string {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	out := make([]string, 0, len(z.records))
+	for n := range z.records {
+		out = append(out, n)
+	}
+	return out
+}

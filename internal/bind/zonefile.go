@@ -1,0 +1,95 @@
+package bind
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Zone-file loading for the bindd daemon: a master-file-like line format,
+//
+//	; comment
+//	name  ttl  type  data...
+//
+// e.g.
+//
+//	fiji.cs.washington.edu  600  A      10.0.0.1
+//	fiji.cs.washington.edu  600  HINFO  MicroVAX-II/Unix
+//	meta.hns                600  HNSMETA ns=bind-cs
+//
+// Data is everything after the type token, verbatim (so HNSMETA payloads
+// and HINFO strings can contain spaces).
+
+// typeByName maps mnemonic type names to codes.
+var typeByName = map[string]RRType{
+	"A": TypeA, "NS": TypeNS, "CNAME": TypeCNAME, "SOA": TypeSOA,
+	"WKS": TypeWKS, "PTR": TypePTR, "HINFO": TypeHINFO, "TXT": TypeTXT,
+	"HNSMETA": TypeHNSMeta,
+}
+
+// ParseRRType resolves a mnemonic ("A", "TXT", ...) or numeric ("TYPE16",
+// "16") record type.
+func ParseRRType(s string) (RRType, error) {
+	if t, ok := typeByName[strings.ToUpper(s)]; ok {
+		return t, nil
+	}
+	num := strings.TrimPrefix(strings.ToUpper(s), "TYPE")
+	n, err := strconv.ParseUint(num, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("bind: unknown record type %q", s)
+	}
+	return RRType(n), nil
+}
+
+// ParseZoneFile reads records from r in the line format above.
+func ParseZoneFile(r io.Reader) ([]RR, error) {
+	var out []RR
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("bind: zone file line %d: want 'name ttl type data', got %q", lineNo, line)
+		}
+		ttl, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bind: zone file line %d: bad ttl %q", lineNo, fields[1])
+		}
+		t, err := ParseRRType(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("bind: zone file line %d: %w", lineNo, err)
+		}
+		// Data is the remainder of the line after the type token,
+		// preserving interior spacing.
+		idx := strings.Index(line, fields[2])
+		data := strings.TrimSpace(line[idx+len(fields[2]):])
+		rr := RR{Name: fields[0], Type: t, Class: ClassIN, TTL: uint32(ttl), Data: []byte(data)}
+		if err := (&rr).Validate(); err != nil {
+			return nil, fmt.Errorf("bind: zone file line %d: %w", lineNo, err)
+		}
+		out = append(out, rr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatZoneFile renders records in the ParseZoneFile format,
+// deterministically ordered.
+func FormatZoneFile(rrs []RR) string {
+	sorted := append([]RR(nil), rrs...)
+	SortRRs(sorted)
+	var b strings.Builder
+	for _, rr := range sorted {
+		fmt.Fprintf(&b, "%s %d %s %s\n", rr.Name, rr.TTL, rr.Type, rr.Data)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package bind
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleZoneFile = `
+; the cs.washington.edu zone
+fiji.cs.washington.edu   600  A       10.0.0.1
+fiji.cs.washington.edu   600  HINFO   MicroVAX-II/Unix with spaces
+june.cs.washington.edu   300  A       10.0.0.2
+# hash comments too
+schwartz.cs.washington.edu 600 TXT    mailhost=june.cs.washington.edu
+ctx.hns                  600  HNSMETA ns=bind-cs
+weird.cs.washington.edu  60   TYPE999 raw payload
+`
+
+func TestParseZoneFile(t *testing.T) {
+	rrs, err := ParseZoneFile(strings.NewReader(sampleZoneFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 6 {
+		t.Fatalf("parsed %d records, want 6", len(rrs))
+	}
+	if rrs[1].Type != TypeHINFO || string(rrs[1].Data) != "MicroVAX-II/Unix with spaces" {
+		t.Fatalf("interior spacing lost: %v", rrs[1])
+	}
+	if rrs[4].Type != TypeHNSMeta {
+		t.Fatalf("HNSMETA not recognised: %v", rrs[4])
+	}
+	if rrs[5].Type != RRType(999) {
+		t.Fatalf("numeric type not recognised: %v", rrs[5])
+	}
+}
+
+func TestParseZoneFileErrors(t *testing.T) {
+	cases := []string{
+		"name 600 A",              // too few fields
+		"name notanum A data",     // bad ttl
+		"name 600 BOGUS data",     // bad type
+		"bad..name 600 A data",    // bad name
+		"name 99999999999 A data", // ttl overflow
+	}
+	for _, c := range cases {
+		if _, err := ParseZoneFile(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseZoneFile(%q) accepted", c)
+		}
+	}
+}
+
+func TestZoneFileRoundTrip(t *testing.T) {
+	rrs, err := ParseZoneFile(strings.NewReader(sampleZoneFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatZoneFile(rrs)
+	back, err := ParseZoneFile(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rrs) {
+		t.Fatalf("round trip lost records: %d -> %d", len(rrs), len(back))
+	}
+	SortRRs(rrs)
+	for i := range rrs {
+		if !back[i].Equal(rrs[i]) || back[i].TTL != rrs[i].TTL {
+			t.Fatalf("record %d mangled:\n was %v\n now %v", i, rrs[i], back[i])
+		}
+	}
+}
+
+func TestParseRRType(t *testing.T) {
+	for s, want := range map[string]RRType{
+		"a": TypeA, "A": TypeA, "hnsmeta": TypeHNSMeta,
+		"TYPE16": TypeTXT, "16": TypeTXT,
+	} {
+		got, err := ParseRRType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseRRType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseRRType("MX!"); err == nil {
+		t.Error("garbage type accepted")
+	}
+}
+
+// Property: format ∘ parse is lossless for valid records without newlines
+// in their data.
+func TestZoneFileProperty(t *testing.T) {
+	f := func(label string, ttl uint16, payload string) bool {
+		name, err := CanonicalName(strings.Trim(label, ".") + ".z.test")
+		if err != nil {
+			return true
+		}
+		payload = strings.Map(func(r rune) rune {
+			if r == '\n' || r == '\r' {
+				return '_'
+			}
+			return r
+		}, payload)
+		payload = strings.TrimSpace(payload)
+		if payload == "" || len(payload) > MaxRDataLen {
+			return true
+		}
+		rr := RR{Name: name, Type: TypeTXT, Class: ClassIN, TTL: uint32(ttl), Data: []byte(payload)}
+		back, err := ParseZoneFile(strings.NewReader(FormatZoneFile([]RR{rr})))
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		return back[0].Equal(rr) && back[0].TTL == rr.TTL
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

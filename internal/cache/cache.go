@@ -1,0 +1,218 @@
+// Package cache provides the TTL cache underlying both the BIND resolver
+// cache and the HNS meta-naming cache.
+//
+// The paper's caching scheme is deliberately simple: "Cached data is tagged
+// with a time-to-live field for cache invalidation. While this simplistic
+// mechanism can cause cache consistency problems, it would not make sense
+// to use a more sophisticated scheme because the source of our cached data
+// (BIND) also uses this mechanism." This package implements exactly that —
+// TTL expiry, no invalidation protocol — plus LRU bounding and hit/miss
+// accounting, which the colocation analysis (equation 1) needs.
+//
+// The cache is storage only; *pricing* an access (demarshalled probe vs
+// demarshal-on-every-access, Table 3.2) is the caller's job, because only
+// the caller knows what form it stores entries in.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"hns/internal/simtime"
+)
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits     int64
+	Misses   int64
+	Expired  int64 // misses caused by TTL expiry of a present entry
+	Evicted  int64 // entries discarded by the LRU bound
+	Preloads int64 // entries installed by bulk preload
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses. This is the
+// "p" and "p+q" of the paper's equation (1).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry[V any] struct {
+	key     string
+	value   V
+	expires time.Time
+	elem    *list.Element
+}
+
+// TTL is a TTL + LRU cache. The zero value is not usable; call New.
+// TTL is safe for concurrent use.
+type TTL[V any] struct {
+	clock simtime.Clock
+	max   int // 0 = unbounded
+
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+	order   *list.List // front = most recently used
+	stats   Stats
+}
+
+// New creates a cache reading time from clock and holding at most max
+// entries (0 for unbounded). A nil clock means the real clock.
+func New[V any](clock simtime.Clock, max int) *TTL[V] {
+	if clock == nil {
+		clock = simtime.RealClock{}
+	}
+	return &TTL[V]{
+		clock:   clock,
+		max:     max,
+		entries: make(map[string]*entry[V]),
+		order:   list.New(),
+	}
+}
+
+// Get returns the live entry for key. Expired entries count as misses and
+// are removed.
+func (c *TTL[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		var zero V
+		return zero, false
+	}
+	if !c.clock.Now().Before(e.expires) {
+		c.removeLocked(e)
+		c.stats.Misses++
+		c.stats.Expired++
+		var zero V
+		return zero, false
+	}
+	c.order.MoveToFront(e.elem)
+	c.stats.Hits++
+	return e.value, true
+}
+
+// Peek returns the live entry for key without touching LRU order or stats.
+func (c *TTL[V]) Peek(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !c.clock.Now().Before(e.expires) {
+		var zero V
+		return zero, false
+	}
+	return e.value, true
+}
+
+// Put installs value under key with the given TTL. Non-positive TTLs are
+// not cached (matching BIND: a zero TTL means "do not cache").
+func (c *TTL[V]) Put(key string, value V, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, value, ttl)
+}
+
+func (c *TTL[V]) putLocked(key string, value V, ttl time.Duration) {
+	if e, ok := c.entries[key]; ok {
+		e.value = value
+		e.expires = c.clock.Now().Add(ttl)
+		c.order.MoveToFront(e.elem)
+		return
+	}
+	e := &entry[V]{key: key, value: value, expires: c.clock.Now().Add(ttl)}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	for c.max > 0 && len(c.entries) > c.max {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.removeLocked(oldest.Value.(*entry[V]))
+		c.stats.Evicted++
+	}
+}
+
+// Preload bulk-installs entries (the zone-transfer preloading experiment).
+// Existing entries are overwritten.
+func (c *TTL[V]) Preload(items map[string]V, ttl time.Duration) {
+	if ttl <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, v := range items {
+		c.putLocked(k, v, ttl)
+		c.stats.Preloads++
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (c *TTL[V]) Delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.removeLocked(e)
+	}
+	return ok
+}
+
+func (c *TTL[V]) removeLocked(e *entry[V]) {
+	delete(c.entries, e.key)
+	c.order.Remove(e.elem)
+}
+
+// Sweep removes expired entries proactively, returning how many were
+// dropped. Expired entries are otherwise removed lazily on access, so
+// long-lived servers (hnsd, the NSM daemons) call Sweep periodically to
+// keep dead data from pinning memory.
+func (c *TTL[V]) Sweep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	dropped := 0
+	for _, e := range c.entries {
+		if !now.Before(e.expires) {
+			c.removeLocked(e)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Purge empties the cache (stats are kept).
+func (c *TTL[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*entry[V])
+	c.order.Init()
+}
+
+// Len reports the number of entries, including any not yet expired-out.
+func (c *TTL[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *TTL[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters (used between benchmark phases).
+func (c *TTL[V]) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}

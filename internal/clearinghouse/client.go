@@ -1,0 +1,115 @@
+package clearinghouse
+
+import (
+	"context"
+
+	"hns/internal/hrpc"
+	"hns/internal/marshal"
+)
+
+// Client is an authenticated Clearinghouse client bound to one server.
+type Client struct {
+	c    *hrpc.Client
+	b    hrpc.Binding
+	cred Credentials
+}
+
+// NewClient creates a client for the Clearinghouse bound at b, presenting
+// cred on every access.
+func NewClient(c *hrpc.Client, b hrpc.Binding, cred Credentials) *Client {
+	return &Client{c: c, b: b, cred: cred}
+}
+
+// Binding reports the server binding in use.
+func (c *Client) Binding() hrpc.Binding { return c.b }
+
+// Retrieve reads one property of an object.
+func (c *Client) Retrieve(ctx context.Context, n Name, property string) ([]byte, error) {
+	ret, err := c.c.Call(ctx, c.b, procRetrieveItem, marshal.StructV(
+		credValue(c.cred), marshal.Str(n.String()), marshal.Str(property),
+	))
+	if err != nil {
+		return nil, err
+	}
+	return ret.Items[0].AsBytes()
+}
+
+// AddItem creates or replaces a property on an object.
+func (c *Client) AddItem(ctx context.Context, n Name, property string, value []byte) error {
+	return c.addItem(ctx, n, property, value, false)
+}
+
+func (c *Client) addItem(ctx context.Context, n Name, property string, value []byte, replicated bool) error {
+	_, err := c.c.Call(ctx, c.b, procAddItem, marshal.StructV(
+		credValue(c.cred), marshal.Str(n.String()), marshal.Str(property),
+		marshal.BytesV(value), marshal.BoolV(replicated),
+	))
+	return err
+}
+
+// DeleteItem removes one property.
+func (c *Client) DeleteItem(ctx context.Context, n Name, property string) error {
+	return c.deleteItem(ctx, n, property, false)
+}
+
+func (c *Client) deleteItem(ctx context.Context, n Name, property string, replicated bool) error {
+	_, err := c.c.Call(ctx, c.b, procDeleteItem, marshal.StructV(
+		credValue(c.cred), marshal.Str(n.String()), marshal.Str(property),
+		marshal.BoolV(replicated),
+	))
+	return err
+}
+
+// DeleteObject removes an object entirely.
+func (c *Client) DeleteObject(ctx context.Context, n Name) error {
+	return c.deleteObject(ctx, n, false)
+}
+
+func (c *Client) deleteObject(ctx context.Context, n Name, replicated bool) error {
+	_, err := c.c.Call(ctx, c.b, procDeleteObject, marshal.StructV(
+		credValue(c.cred), marshal.Str(n.String()), marshal.BoolV(replicated),
+	))
+	return err
+}
+
+// List enumerates the objects of a domain:organization.
+func (c *Client) List(ctx context.Context, domain, org string) ([]Name, error) {
+	ret, err := c.c.Call(ctx, c.b, procListObjects, marshal.StructV(
+		credValue(c.cred), marshal.Str(domain), marshal.Str(org),
+	))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Name, 0, ret.Items[0].Len())
+	for _, it := range ret.Items[0].Items {
+		s, err := it.AsString()
+		if err != nil {
+			return nil, err
+		}
+		n, err := ParseName(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Properties lists the property names of an object.
+func (c *Client) Properties(ctx context.Context, n Name) ([]string, error) {
+	ret, err := c.c.Call(ctx, c.b, procListProperties, marshal.StructV(
+		credValue(c.cred), marshal.Str(n.String()),
+	))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, ret.Items[0].Len())
+	for _, it := range ret.Items[0].Items {
+		s, err := it.AsString()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

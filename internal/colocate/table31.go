@@ -1,0 +1,96 @@
+package colocate
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hns/internal/bind"
+	"hns/internal/names"
+	"hns/internal/world"
+)
+
+// Table 3.1 reproduction: "Performance of HRPC Binding for Various
+// Colocation Arrangements (msec.)". Rows are colocation arrangements,
+// columns are cache states:
+//
+//	A. Cache Miss          — HNS and NSM caches cold
+//	B. HNS Cache Hit       — HNS cache warm, NSM cache cold
+//	C. HNS and NSM Cache Hit — both warm
+//
+// The workload is the paper's: HRPC Import of a Sun RPC server named in
+// BIND, measured at steady state (connections warm, caches controlled).
+
+// Cell is one row of the table.
+type Cell struct {
+	Miss    time.Duration // column A
+	HNSHit  time.Duration // column B
+	BothHit time.Duration // column C
+}
+
+// PaperTable31 records the paper's published numbers (milliseconds) for
+// side-by-side reporting.
+var PaperTable31 = map[Arrangement][3]float64{
+	ClientHNSNSMs: {460, 180, 104},
+	AgentHNSNSMs:  {517, 235, 137},
+	RemoteHNS:     {515, 232, 140},
+	RemoteNSMs:    {509, 225, 147},
+	AllRemote:     {547, 261, 181},
+}
+
+// BindHostName is the Table 3.1 import target in the client's tagged-host
+// notation.
+func BindHostName() string {
+	return names.Must("bind", world.HostBind).String()
+}
+
+// RunRow measures one arrangement's three cells.
+func RunRow(ctx context.Context, w *world.World, arr Arrangement, mode bind.CacheMode) (Cell, error) {
+	im, err := New(w, arr, mode)
+	if err != nil {
+		return Cell{}, err
+	}
+	defer im.Close()
+
+	importOnce := func() (time.Duration, error) {
+		return MeasureImport(ctx, im, world.DesiredService,
+			world.DesiredProgram, world.DesiredVersion, BindHostName())
+	}
+
+	// Warm transport connections without polluting the measurement, then
+	// establish the cold-cache state.
+	if _, err := importOnce(); err != nil {
+		return Cell{}, err
+	}
+	im.FlushHNSCache()
+	im.FlushNSMCache()
+
+	var cell Cell
+	// Column A: cold everywhere.
+	if cell.Miss, err = importOnce(); err != nil {
+		return Cell{}, err
+	}
+	// That run warmed both sides; recreate "HNS hit, NSM miss".
+	im.FlushNSMCache()
+	if cell.HNSHit, err = importOnce(); err != nil {
+		return Cell{}, err
+	}
+	// Both warm now.
+	if cell.BothHit, err = importOnce(); err != nil {
+		return Cell{}, err
+	}
+	return cell, nil
+}
+
+// RunTable31 measures all five rows.
+func RunTable31(ctx context.Context, w *world.World, mode bind.CacheMode) (map[Arrangement]Cell, error) {
+	out := make(map[Arrangement]Cell, 5)
+	for _, arr := range Arrangements() {
+		cell, err := RunRow(ctx, w, arr, mode)
+		if err != nil {
+			return nil, fmt.Errorf("row %s: %w", arr, err)
+		}
+		out[arr] = cell
+	}
+	return out, nil
+}

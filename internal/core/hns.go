@@ -1,0 +1,380 @@
+// Package core implements the HCS Name Service (HNS) proper — the paper's
+// primary contribution.
+//
+// The HNS is a *direct access* global name service: all data about
+// individually nameable entities stays in the underlying name services
+// (BIND, Clearinghouse, ...), and the HNS maintains only meta-naming
+// information — which name service a context maps to, which NSM handles a
+// (name service, query class) pair, and where that NSM lives. The
+// meta-information is itself stored in a modified BIND supporting dynamic
+// updates and records of unspecified type; the HNS is "a collection of
+// library routines that access this version of BIND".
+//
+// The primary function is FindNSM, implemented as the paper's sequence of
+// mappings:
+//
+//  1. Context → Name Service Name                  (meta-BIND lookup)
+//  2. (Name Service Name, Query Class) → NSM Name  (meta-BIND lookup)
+//  3. NSM Name → NSM record                        (meta-BIND lookup)
+//     4-5. the NSM record names the NSM's host; translating it to an
+//     address is itself an HNS operation, re-running mappings 1-2 for
+//     the host's context                         (two meta-BIND lookups)
+//  6. the HostAddress NSM interrogates the real underlying name service.
+//
+// Further recursion is avoided by linking HostAddress NSM instances
+// directly with the HNS (LinkHostResolver), so their own addresses never
+// need to be found. A cache-cold FindNSM therefore performs exactly six
+// remote lookups; a warm one performs none.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hns/internal/bind"
+	"hns/internal/hrpc"
+	"hns/internal/marshal"
+	"hns/internal/names"
+	"hns/internal/qclass"
+	"hns/internal/simtime"
+)
+
+// HostResolver is the face of a linked-in HostAddress NSM: it translates a
+// host's individual name into a transport address using its underlying
+// name service, and is expected to cache.
+type HostResolver interface {
+	// ResolveHost maps the individual name of a host to its transport
+	// address.
+	ResolveHost(ctx context.Context, individual string) (string, error)
+}
+
+// Finder is the client-side face of the HNS, satisfied by both the local
+// library (*HNS) and the remote service (*RemoteHNS) — the choice between
+// them is the "colocation arrangement" of the paper's Table 3.1.
+type Finder interface {
+	// FindNSM maps an HNS name's context plus a query class to an HRPC
+	// binding for the NSM that can answer queries of that class.
+	FindNSM(ctx context.Context, name names.Name, queryClass string) (hrpc.Binding, error)
+}
+
+// Errors reported by HNS operations.
+var (
+	ErrNoSuchContext = errors.New("hns: context not registered")
+	ErrNoSuchNSM     = errors.New("hns: no NSM registered for query class on name service")
+	ErrBadMetaRecord = errors.New("hns: malformed meta-naming record")
+	ErrDepthExceeded = errors.New("hns: host resolution recursion too deep")
+)
+
+// Config configures a local HNS instance.
+type Config struct {
+	// MetaZone is the BIND zone holding the meta-information
+	// (default "hns").
+	MetaZone string
+	// CacheMode selects the meta-cache entry form (Table 3.2):
+	// demarshalled (default) or marshalled.
+	CacheMode bind.CacheMode
+	// Clock drives cache TTL expiry; default real time.
+	Clock simtime.Clock
+	// MaxCacheEntries bounds the meta-cache; 0 = unbounded.
+	MaxCacheEntries int
+	// RPC, when set, lets the HNS fall back to *remote* HostAddress NSMs
+	// for name services with no linked resolver. Without it, such
+	// lookups fail — the prototype always linked its HostAddress NSMs.
+	RPC *hrpc.Client
+}
+
+// HNS is a local instance of the name service library.
+type HNS struct {
+	model    *simtime.Model
+	metaZone string
+	meta     *bind.HRPCClient
+	resolver *bind.Resolver
+	rpc      *hrpc.Client
+
+	mu            sync.RWMutex
+	hostResolvers map[string]HostResolver
+
+	findCalls atomic.Int64
+}
+
+// New creates an HNS over the given meta-BIND client.
+func New(meta *bind.HRPCClient, model *simtime.Model, cfg Config) *HNS {
+	zone := cfg.MetaZone
+	if zone == "" {
+		zone = "hns"
+	}
+	h := &HNS{
+		model:    model,
+		metaZone: zone,
+		meta:     meta,
+		rpc:      cfg.RPC,
+		resolver: bind.NewResolver(meta, model, bind.ResolverConfig{
+			Mode: cfg.CacheMode,
+			// Meta data arrives via the generated stubs, so marshalled-
+			// mode hits pay the generated demarshal rate.
+			Style:      marshal.StyleGenerated,
+			Clock:      cfg.Clock,
+			MaxEntries: cfg.MaxCacheEntries,
+		}),
+		hostResolvers: make(map[string]HostResolver),
+	}
+	return h
+}
+
+// MetaZone reports the meta-information zone name.
+func (h *HNS) MetaZone() string { return h.metaZone }
+
+// LinkHostResolver links a HostAddress NSM instance directly with the HNS
+// for the given name service, breaking the FindNSM recursion for hosts
+// named in that service.
+func (h *HNS) LinkHostResolver(nameService string, r HostResolver) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.hostResolvers[strings.ToLower(nameService)] = r
+}
+
+// linkedResolver returns the linked HostAddress NSM for a name service.
+func (h *HNS) linkedResolver(nameService string) HostResolver {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.hostResolvers[nameService]
+}
+
+// Meta record owner names. Contexts, name services, query-class mappings
+// and NSM records live under distinct sub-trees of the meta zone.
+func (h *HNS) ctxName(context string) string { return context + ".ctx." + h.metaZone }
+func (h *HNS) nsName(ns string) string       { return ns + ".ns." + h.metaZone }
+func (h *HNS) qcName(qc, ns string) string   { return qc + "." + ns + ".qc." + h.metaZone }
+func (h *HNS) nsmName(nsm string) string     { return nsm + ".nsm." + h.metaZone }
+
+// metaLookup fetches the meta records at name through the caching
+// resolver; the six FindNSM mappings all come through here.
+func (h *HNS) metaLookup(ctx context.Context, name string) ([]bind.RR, error) {
+	return h.resolver.Lookup(ctx, name, bind.TypeHNSMeta)
+}
+
+// kv parses the "key=value" payload convention of meta records.
+func kv(rr bind.RR) (string, string, error) {
+	s := string(rr.Data)
+	i := strings.IndexByte(s, '=')
+	if i <= 0 {
+		return "", "", fmt.Errorf("%w: %q on %s", ErrBadMetaRecord, s, rr.Name)
+	}
+	return s[:i], s[i+1:], nil
+}
+
+// findValue extracts the value for key from a meta record set.
+func findValue(rrs []bind.RR, key string) (string, bool) {
+	for _, rr := range rrs {
+		k, v, err := kv(rr)
+		if err == nil && k == key {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// FindNSM implements Finder. It is the paper's primary HNS call.
+func (h *HNS) FindNSM(ctx context.Context, name names.Name, queryClass string) (hrpc.Binding, error) {
+	h.findCalls.Add(1)
+	simtime.Charge(ctx, h.model.FindNSMAssembly)
+	if err := name.Validate(); err != nil {
+		return hrpc.Binding{}, err
+	}
+	queryClass = strings.ToLower(queryClass)
+	return h.findNSM(ctx, name.Context, queryClass, 0)
+}
+
+func (h *HNS) findNSM(ctx context.Context, context, queryClass string, depth int) (hrpc.Binding, error) {
+	if depth > 2 {
+		return hrpc.Binding{}, ErrDepthExceeded
+	}
+	// Mapping 1: Context → Name Service Name.
+	ns, err := h.lookupContext(ctx, context)
+	if err != nil {
+		return hrpc.Binding{}, err
+	}
+	tracef(ctx, "mapping 1: context %q -> name service %q", context, ns)
+	// Mapping 2: (Name Service Name, Query Class) → NSM Name.
+	nsm, err := h.lookupNSMName(ctx, ns, queryClass)
+	if err != nil {
+		return hrpc.Binding{}, err
+	}
+	tracef(ctx, "mapping 2: (%q, %q) -> NSM %q", ns, queryClass, nsm)
+	// Mapping 3: NSM Name → NSM record (host, port, program, suite).
+	rec, err := h.lookupNSMRecord(ctx, nsm)
+	if err != nil {
+		return hrpc.Binding{}, err
+	}
+	tracef(ctx, "mapping 3: NSM %q -> host %s port %s suite %s,%s,%s",
+		nsm, rec.Host, rec.Port, rec.Suite.Transport, rec.Suite.DataRep, rec.Suite.Control)
+	// Mappings 4-6: translate the NSM's host name to an address.
+	hostAddr, err := h.resolveHost(ctx, rec.HostContext, rec.Host, depth)
+	if err != nil {
+		return hrpc.Binding{}, fmt.Errorf("hns: resolving NSM host %s: %w", rec.Host, err)
+	}
+	tracef(ctx, "resolved: NSM host %q -> address %q", rec.Host, hostAddr)
+	prog, err := qclass.Program(queryClass)
+	if err != nil {
+		return hrpc.Binding{}, err
+	}
+	return hrpc.Binding{
+		Host:      rec.Host,
+		Addr:      hostAddr + ":" + rec.Port,
+		Transport: rec.Suite.Transport,
+		DataRep:   rec.Suite.DataRep,
+		Control:   rec.Suite.Control,
+		Program:   prog,
+		Version:   qclass.NSMVersion,
+	}, nil
+}
+
+// lookupContext performs mapping 1.
+func (h *HNS) lookupContext(ctx context.Context, context string) (string, error) {
+	context, err := names.CanonicalContext(context)
+	if err != nil {
+		return "", err
+	}
+	rrs, err := h.metaLookup(ctx, h.ctxName(context))
+	if err != nil {
+		var nf *bind.NotFoundError
+		if errors.As(err, &nf) {
+			return "", fmt.Errorf("%w: %q", ErrNoSuchContext, context)
+		}
+		return "", err
+	}
+	ns, ok := findValue(rrs, "ns")
+	if !ok {
+		return "", fmt.Errorf("%w: context %q record lacks ns=", ErrBadMetaRecord, context)
+	}
+	return ns, nil
+}
+
+// lookupNSMName performs mapping 2.
+func (h *HNS) lookupNSMName(ctx context.Context, ns, queryClass string) (string, error) {
+	rrs, err := h.metaLookup(ctx, h.qcName(queryClass, ns))
+	if err != nil {
+		var nf *bind.NotFoundError
+		if errors.As(err, &nf) {
+			return "", fmt.Errorf("%w: %s on %s", ErrNoSuchNSM, queryClass, ns)
+		}
+		return "", err
+	}
+	nsm, ok := findValue(rrs, "nsm")
+	if !ok {
+		return "", fmt.Errorf("%w: qc record for %s/%s lacks nsm=", ErrBadMetaRecord, ns, queryClass)
+	}
+	return nsm, nil
+}
+
+// nsmRecord is the decoded form of an NSM's meta records.
+type nsmRecord struct {
+	Host        string
+	HostContext string
+	Port        string
+	Suite       hrpc.Suite
+}
+
+// lookupNSMRecord performs mapping 3.
+func (h *HNS) lookupNSMRecord(ctx context.Context, nsm string) (nsmRecord, error) {
+	rrs, err := h.metaLookup(ctx, h.nsmName(nsm))
+	if err != nil {
+		var nf *bind.NotFoundError
+		if errors.As(err, &nf) {
+			return nsmRecord{}, fmt.Errorf("%w: NSM %q has no record", ErrNoSuchNSM, nsm)
+		}
+		return nsmRecord{}, err
+	}
+	var rec nsmRecord
+	var ok bool
+	if rec.Host, ok = findValue(rrs, "host"); !ok {
+		return nsmRecord{}, fmt.Errorf("%w: NSM %q lacks host=", ErrBadMetaRecord, nsm)
+	}
+	if rec.HostContext, ok = findValue(rrs, "hostctx"); !ok {
+		return nsmRecord{}, fmt.Errorf("%w: NSM %q lacks hostctx=", ErrBadMetaRecord, nsm)
+	}
+	if rec.Port, ok = findValue(rrs, "port"); !ok {
+		return nsmRecord{}, fmt.Errorf("%w: NSM %q lacks port=", ErrBadMetaRecord, nsm)
+	}
+	suite, ok := findValue(rrs, "suite")
+	if !ok {
+		return nsmRecord{}, fmt.Errorf("%w: NSM %q lacks suite=", ErrBadMetaRecord, nsm)
+	}
+	parts := strings.Split(suite, ",")
+	if len(parts) != 3 {
+		return nsmRecord{}, fmt.Errorf("%w: NSM %q suite %q", ErrBadMetaRecord, nsm, suite)
+	}
+	rec.Suite = hrpc.Suite{Transport: parts[0], DataRep: parts[1], Control: parts[2]}
+	return rec, nil
+}
+
+// resolveHost performs mappings 4-6: an HNS HostAddress operation for the
+// NSM's own host, short-circuited through linked resolvers.
+func (h *HNS) resolveHost(ctx context.Context, hostContext, host string, depth int) (string, error) {
+	// Mapping 4: the host's context → its name service.
+	hostNS, err := h.lookupContext(ctx, hostContext)
+	if err != nil {
+		return "", err
+	}
+	tracef(ctx, "mapping 4: host context %q -> name service %q", hostContext, hostNS)
+	// Mapping 5: (host NS, HostAddress) → NSM name. Performed even when a
+	// linked instance will serve the query — the HNS must confirm the
+	// query class is supported before dispatching.
+	hostNSM, err := h.lookupNSMName(ctx, hostNS, qclass.HostAddress)
+	if err != nil {
+		return "", err
+	}
+	tracef(ctx, "mapping 5: (%q, %q) -> NSM %q", hostNS, qclass.HostAddress, hostNSM)
+	// Mapping 6: the HostAddress NSM interrogates its name service.
+	if r := h.linkedResolver(hostNS); r != nil {
+		tracef(ctx, "mapping 6: linked HostAddress NSM for %q resolves %q", hostNS, host)
+		return r.ResolveHost(ctx, host)
+	}
+	// No linked instance: fall back to calling the remote HostAddress
+	// NSM, which requires finding *it* first (bounded recursion).
+	if h.rpc == nil {
+		return "", fmt.Errorf("hns: no linked HostAddress NSM for name service %q", hostNS)
+	}
+	b, err := h.findNSM(ctx, hostContext, qclass.HostAddress, depth+1)
+	if err != nil {
+		return "", err
+	}
+	ret, err := h.rpc.Call(ctx, b, qclass.ProcResolveHost, resolveHostArgs(hostContext, host))
+	if err != nil {
+		return "", err
+	}
+	return ret.Items[0].AsString()
+}
+
+// Stats reports the HNS's operational counters.
+type Stats struct {
+	// FindNSMCalls counts FindNSM invocations.
+	FindNSMCalls int64
+	// Cache carries the meta-cache counters (the paper's p and p+q).
+	Cache CacheStats
+}
+
+// CacheStats mirrors cache.Stats without exporting the cache package.
+type CacheStats struct {
+	Hits, Misses, Expired, Preloads int64
+	HitRate                         float64
+}
+
+// Stats returns a snapshot.
+func (h *HNS) Stats() Stats {
+	cs := h.resolver.Stats()
+	return Stats{
+		FindNSMCalls: h.findCalls.Load(),
+		Cache: CacheStats{
+			Hits: cs.Hits, Misses: cs.Misses, Expired: cs.Expired,
+			Preloads: cs.Preloads, HitRate: cs.HitRate(),
+		},
+	}
+}
+
+// FlushCache empties the meta-cache (between benchmark phases).
+func (h *HNS) FlushCache() { h.resolver.Purge() }

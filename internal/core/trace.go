@@ -1,0 +1,28 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// FindNSM step tracing. A TraceFunc installed in the context receives one
+// line per data mapping as FindNSM executes, making the paper's six-
+// mapping structure observable — hnsbench's Figure 2.1 trace and hnsctl's
+// verbose mode use it. Tracing costs nothing when absent.
+
+// TraceFunc receives one trace line per FindNSM step.
+type TraceFunc func(step string)
+
+type traceKey struct{}
+
+// WithTrace installs fn as the FindNSM step tracer in ctx.
+func WithTrace(ctx context.Context, fn TraceFunc) context.Context {
+	return context.WithValue(ctx, traceKey{}, fn)
+}
+
+// tracef emits a step line if a tracer is installed.
+func tracef(ctx context.Context, format string, args ...any) {
+	if fn, ok := ctx.Value(traceKey{}).(TraceFunc); ok && fn != nil {
+		fn(fmt.Sprintf(format, args...))
+	}
+}

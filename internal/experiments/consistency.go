@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"hns/internal/bind"
+	"hns/internal/core"
+	"hns/internal/hrpc"
+	"hns/internal/qclass"
+	"hns/internal/simtime"
+	"hns/internal/world"
+)
+
+// The cache-consistency experiment. The paper accepts TTL-bounded
+// staleness: "Cached data is tagged with a time-to-live field for cache
+// invalidation. While this simplistic mechanism can cause cache
+// consistency problems, it would not make sense to use a more
+// sophisticated scheme... Given our assumption that data changes slowly
+// over time, we feel that this mechanism will suffice." We make the
+// trade-off concrete: after a meta-information change, how long does a
+// warm client see the old answer, and what does it see afterwards?
+
+// ConsistencyResult reports the staleness window measurement.
+type ConsistencyResult struct {
+	// StaleServed reports whether the warm client saw the old NSM
+	// binding right after the change (it must — that is the trade-off).
+	StaleServed bool
+	// Window is how long the stale answer persisted (the record TTL).
+	Window time.Duration
+	// ConvergedTo is the binding observed after the window.
+	ConvergedTo hrpc.Binding
+	// Moved is the binding the registration changed to.
+	Moved hrpc.Binding
+}
+
+// RunConsistency measures the staleness window with a controllable clock.
+// The world must have been built with that same clock.
+func RunConsistency(ctx context.Context, w *world.World, clk *simtime.FakeClock) (ConsistencyResult, error) {
+	var res ConsistencyResult
+	h := w.NewHNS(core.Config{CacheMode: bind.CacheMarshalled})
+	name := world.DesiredServiceName()
+
+	before, err := h.FindNSM(ctx, name, qclass.HRPCBinding) // warms the cache
+	if err != nil {
+		return res, err
+	}
+
+	// The NSM moves: administrators re-register it at a new endpoint.
+	// (The registering HNS purges its own cache; h is a *different*
+	// client and only converges by TTL.)
+	if err := w.HNS.UnregisterNSM(ctx, "binding-bind-1", world.NSBind, qclass.HRPCBinding); err != nil {
+		return res, err
+	}
+	moved := core.NSMInfo{
+		Name: "binding-bind-2", NameService: world.NSBind, QueryClass: qclass.HRPCBinding,
+		Host: world.HostNSM, HostContext: world.CtxHostB,
+		Port: world.PortBindingBind + "-moved", Suite: hrpc.SuiteSunRPC,
+	}
+	if err := w.HNS.RegisterNSM(ctx, moved); err != nil {
+		return res, err
+	}
+
+	// Immediately after: the warm client still gets the old answer.
+	stale, err := h.FindNSM(ctx, name, qclass.HRPCBinding)
+	if err != nil {
+		return res, err
+	}
+	res.StaleServed = stale == before
+
+	// Advance past the TTL: the client converges.
+	res.Window = time.Duration(core.DefaultMetaTTL) * time.Second
+	clk.Advance(res.Window + time.Second)
+	after, err := h.FindNSM(ctx, name, qclass.HRPCBinding)
+	if err != nil {
+		return res, err
+	}
+	res.ConvergedTo = after
+	res.Moved = hrpc.SuiteSunRPC.Bind(world.HostNSM, "june:"+moved.Port,
+		qclass.ProgHRPCBinding, qclass.NSMVersion)
+
+	// Restore the original registration so the world stays usable.
+	if err := w.HNS.UnregisterNSM(ctx, "binding-bind-2", world.NSBind, qclass.HRPCBinding); err != nil {
+		return res, err
+	}
+	err = w.HNS.RegisterNSM(ctx, core.NSMInfo{
+		Name: "binding-bind-1", NameService: world.NSBind, QueryClass: qclass.HRPCBinding,
+		Host: world.HostNSM, HostContext: world.CtxHostB,
+		Port: world.PortBindingBind, Suite: hrpc.SuiteSunRPC,
+	})
+	return res, err
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// P8: "The binding NSMs for both the BIND and Clearinghouse subsystems are
+// about 230 lines each." We report the size of our binding NSM source as
+// the comparable integration-effort metric.
+
+// NSMSize reports the measured size of one NSM implementation.
+type NSMSize struct {
+	File  string
+	Lines int // non-blank, non-comment lines
+}
+
+// PaperNSMLines is the published per-NSM figure.
+const PaperNSMLines = 230
+
+// MeasureNSMSources counts the effective source lines of the NSM
+// implementation files. It locates the sources via this file's compiled-in
+// path, so it works under `go run` and `go test` in a checkout; binaries
+// away from the sources get an error.
+func MeasureNSMSources() ([]NSMSize, error) {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		return nil, fmt.Errorf("experiments: cannot locate own source")
+	}
+	nsmDir := filepath.Join(filepath.Dir(thisFile), "..", "nsm")
+	var out []NSMSize
+	for _, f := range []string{"binding.go", "hostaddr.go", "mail.go"} {
+		path := filepath.Join(nsmDir, f)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w (run from a source checkout)", err)
+		}
+		out = append(out, NSMSize{File: "internal/nsm/" + f, Lines: countCodeLines(string(data))})
+	}
+	return out, nil
+}
+
+// countCodeLines counts lines that are neither blank nor pure comments.
+func countCodeLines(src string) int {
+	n := 0
+	inBlock := false
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if inBlock {
+			if strings.Contains(t, "*/") {
+				inBlock = false
+			}
+			continue
+		}
+		switch {
+		case t == "", strings.HasPrefix(t, "//"):
+		case strings.HasPrefix(t, "/*"):
+			if !strings.Contains(t, "*/") {
+				inBlock = true
+			}
+		default:
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"hns/internal/bind"
+	"hns/internal/core"
+	"hns/internal/names"
+	"hns/internal/qclass"
+	"hns/internal/simtime"
+	"hns/internal/world"
+)
+
+// The heterogeneity-scaling experiment. The paper's goal statement —
+// "scalable in the heterogeneous dimension, meaning that it may be applied
+// to environments consisting of a large and increasing number of different
+// system types" — has no table of its own, so we measure it: add N extra
+// system types (each a fresh name service with its own NSM) and verify
+// that
+//
+//   - integrating type k costs the same as integrating type 1 (a constant
+//     number of meta updates), unlike reregistration whose sweep grows
+//     with the total name count; and
+//   - FindNSM cost is flat in N (lookups touch only the queried context's
+//     records), so load distributes across the subsystems.
+type ScalingPoint struct {
+	// SystemTypes is the number of integrated system types.
+	SystemTypes int
+	// IntegrationCost is the simulated cost of integrating the last type
+	// (registrations only; building the NSM is a human cost).
+	IntegrationCost time.Duration
+	// FindCold is a cache-cold FindNSM against the newest type.
+	FindCold time.Duration
+	// FindWarm is a warm FindNSM against the newest type.
+	FindWarm time.Duration
+	// MetaRecords is the total meta-zone size.
+	MetaRecords int
+}
+
+// RunScaling integrates sizes[i] system types and measures each point.
+func RunScaling(ctx context.Context, w *world.World, sizes []int) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	integrated := 0
+	var lastCost time.Duration
+	for _, target := range sizes {
+		for integrated < target {
+			cost, err := w.AddSyntheticType(ctx, integrated)
+			if err != nil {
+				return nil, err
+			}
+			lastCost = cost
+			integrated++
+		}
+		h := w.NewHNS(core.Config{CacheMode: bind.CacheMarshalled})
+		name := names.Must(world.SyntheticContext(integrated-1), world.SyntheticHost(integrated-1))
+		cold, err := simtime.Measure(ctx, func(ctx context.Context) error {
+			_, err := h.FindNSM(ctx, name, qclass.HostAddress)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		warm, err := simtime.Measure(ctx, func(ctx context.Context) error {
+			_, err := h.FindNSM(ctx, name, qclass.HostAddress)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScalingPoint{
+			SystemTypes:     2 + integrated, // the base world's two worlds plus ours
+			IntegrationCost: lastCost,
+			FindCold:        cold,
+			FindWarm:        warm,
+			MetaRecords:     w.MetaServer.Zone(world.MetaZone).Count(),
+		})
+	}
+	return out, nil
+}

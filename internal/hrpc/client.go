@@ -1,0 +1,234 @@
+package hrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hns/internal/marshal"
+	"hns/internal/simtime"
+	"hns/internal/transport"
+)
+
+// Client places HRPC calls. It resolves a Binding's component names to
+// implementations at call time — the "mix and match at bind time" property
+// — and caches transport connections per endpoint. A Client is safe for
+// concurrent use.
+type Client struct {
+	net *transport.Network
+	xid atomic.Uint32
+
+	// FreshConn, when set, makes every call dial (and close) its own
+	// connection instead of using the cache. The Raw protocol suite of
+	// the era worked this way — one request/response exchange per
+	// connection — and the HNS's interface to its meta-BIND pays the
+	// resulting per-call setup cost. Set before first use.
+	FreshConn bool
+
+	// Retries is how many times a call is retransmitted after a
+	// transport-level loss (the Sun RPC discipline: datagrams get lost;
+	// the RPC layer times out and resends). Each retry charges the
+	// model's retransmission timeout. Remote faults — a live server
+	// saying no — are never retried. Set before first use.
+	Retries int
+
+	mu    sync.Mutex
+	conns map[string]transport.Conn
+}
+
+// NewClient creates a client on the given network.
+func NewClient(net *transport.Network) *Client {
+	return &Client{net: net, conns: make(map[string]transport.Conn)}
+}
+
+// Network exposes the client's network (for components that need the cost
+// model or to dial directly).
+func (c *Client) Network() *transport.Network { return c.net }
+
+// RemoteFault is an application-level error returned by the remote
+// procedure, as distinguished from a transport or protocol failure.
+type RemoteFault struct {
+	Proc string
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteFault) Error() string { return fmt.Sprintf("hrpc: %s: %s", e.Proc, e.Msg) }
+
+// xidMatcher lets control protocols with narrower transaction IDs define
+// their own reply-matching rule (Courier truncates to 16 bits).
+type xidMatcher interface {
+	matchXID(call, reply uint32) bool
+}
+
+// Call invokes procedure p on the server identified by b, marshalling args
+// and unmarshalling the result according to the binding's components. All
+// simulated costs on the call path are charged to the meter in ctx.
+func (c *Client) Call(ctx context.Context, b Binding, p Procedure, args marshal.Value) (marshal.Value, error) {
+	if err := b.Validate(); err != nil {
+		return marshal.Value{}, err
+	}
+	tr, err := c.net.Transport(b.Transport)
+	if err != nil {
+		return marshal.Value{}, err
+	}
+	rep, err := marshal.Lookup(b.DataRep)
+	if err != nil {
+		return marshal.Value{}, err
+	}
+	ctl, err := LookupControl(b.Control)
+	if err != nil {
+		return marshal.Value{}, err
+	}
+	model := c.net.Model()
+
+	// Client-side stub work: control bookkeeping plus argument marshalling.
+	simtime.Charge(ctx, ctl.Overhead(model))
+	argBytes, err := marshal.Marshal(rep, args, p.Args)
+	if err != nil {
+		return marshal.Value{}, fmt.Errorf("hrpc: %s: marshal args: %w", p.Name, err)
+	}
+	marshal.ChargeValue(ctx, model, p.Style, args)
+
+	xid := c.xid.Add(1)
+	frame, err := ctl.EncodeCall(CallHeader{
+		XID: xid, Program: b.Program, Version: b.Version, Procedure: p.ID,
+	}, argBytes)
+	if err != nil {
+		return marshal.Value{}, err
+	}
+
+	respFrame, err := c.roundTrip(ctx, tr, b.Addr, frame)
+	if err != nil {
+		return marshal.Value{}, fmt.Errorf("hrpc: %s to %s: %w", p.Name, b.Addr, err)
+	}
+
+	rh, resBytes, err := ctl.DecodeReply(respFrame)
+	if err != nil {
+		return marshal.Value{}, fmt.Errorf("hrpc: %s: %w", p.Name, err)
+	}
+	if m, ok := ctl.(xidMatcher); ok {
+		if !m.matchXID(xid, rh.XID) {
+			return marshal.Value{}, fmt.Errorf("%w: sent %d, got %d", ErrXIDMismatch, xid, rh.XID)
+		}
+	} else if rh.XID != xid {
+		return marshal.Value{}, fmt.Errorf("%w: sent %d, got %d", ErrXIDMismatch, xid, rh.XID)
+	}
+	if rh.Err != "" {
+		return marshal.Value{}, &RemoteFault{Proc: p.Name, Msg: rh.Err}
+	}
+
+	ret, err := marshal.Unmarshal(rep, resBytes, p.Ret)
+	if err != nil {
+		return marshal.Value{}, fmt.Errorf("hrpc: %s: unmarshal result: %w", p.Name, err)
+	}
+	marshal.ChargeValue(ctx, model, p.Style, ret)
+	return ret, nil
+}
+
+// roundTrip sends one frame, retransmitting after transport-level losses
+// up to c.Retries times (each retry first charges the retransmission
+// timeout the caller would have sat through).
+func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr string, frame []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			simtime.Charge(ctx, c.net.Model().RetransmitTimeout)
+		}
+		resp, err := c.sendOnce(ctx, tr, addr, frame)
+		if err == nil {
+			return resp, nil
+		}
+		// A RemoteError is a live server saying no; retransmitting
+		// cannot help. A dead context likewise.
+		var re *transport.RemoteError
+		if errors.As(err, &re) || ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// sendOnce performs a single exchange over a cached connection, redialing
+// once if a cached connection has gone stale.
+func (c *Client) sendOnce(ctx context.Context, tr transport.Transport, addr string, frame []byte) ([]byte, error) {
+	if c.FreshConn {
+		conn, err := tr.Dial(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		return conn.Call(ctx, frame)
+	}
+	key := tr.Name() + "!" + addr
+	conn, cached, err := c.conn(ctx, tr, addr, key)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := conn.Call(ctx, frame)
+	if err == nil {
+		return resp, nil
+	}
+	// A stale cached connection gets one redial within the same attempt.
+	var re *transport.RemoteError
+	if errors.As(err, &re) || !cached {
+		return nil, err
+	}
+	c.dropConn(key, conn)
+	conn2, _, err2 := c.conn(ctx, tr, addr, key)
+	if err2 != nil {
+		return nil, err
+	}
+	return conn2.Call(ctx, frame)
+}
+
+// conn returns a cached connection for key, dialing if absent. The second
+// result reports whether the connection came from the cache.
+func (c *Client) conn(ctx context.Context, tr transport.Transport, addr, key string) (transport.Conn, bool, error) {
+	c.mu.Lock()
+	if conn, ok := c.conns[key]; ok {
+		c.mu.Unlock()
+		return conn, true, nil
+	}
+	c.mu.Unlock()
+
+	conn, err := tr.Dial(ctx, addr)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.conns[key]; ok {
+		// Lost the race; keep the existing connection.
+		_ = conn.Close()
+		return prev, true, nil
+	}
+	c.conns[key] = conn
+	return conn, false, nil
+}
+
+func (c *Client) dropConn(key string, conn transport.Conn) {
+	c.mu.Lock()
+	if c.conns[key] == conn {
+		delete(c.conns, key)
+	}
+	c.mu.Unlock()
+	_ = conn.Close()
+}
+
+// Close releases every cached connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for k, conn := range c.conns {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.conns, k)
+	}
+	return first
+}

@@ -1,0 +1,103 @@
+package hrpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hns/internal/simtime"
+)
+
+// CallHeader is the control-protocol-independent view of a call header.
+type CallHeader struct {
+	XID       uint32
+	Program   uint32
+	Version   uint32
+	Procedure uint32
+}
+
+// ReplyHeader is the control-protocol-independent view of a reply header.
+// Err is empty on success; otherwise it carries the remote error text
+// (our stand-in for the various protocols' reject/abort conventions).
+type ReplyHeader struct {
+	XID uint32
+	Err string
+}
+
+// ControlProtocol is the HRPC "control protocol" component: the header
+// format used internally by the RPC facility to track the state of a call.
+// Implementations must be safe for concurrent use.
+type ControlProtocol interface {
+	// Name identifies the protocol in bindings ("sunrpc", "courier",
+	// "raw").
+	Name() string
+	// EncodeCall prepends a call header to the marshalled arguments.
+	EncodeCall(h CallHeader, args []byte) ([]byte, error)
+	// DecodeCall splits a request frame into header and arguments.
+	DecodeCall(frame []byte) (CallHeader, []byte, error)
+	// EncodeReply prepends a reply header to the marshalled results.
+	EncodeReply(h ReplyHeader, results []byte) ([]byte, error)
+	// DecodeReply splits a reply frame into header and results.
+	DecodeReply(frame []byte) (ReplyHeader, []byte, error)
+	// Overhead reports the per-call client-side bookkeeping cost of this
+	// protocol (header construction, XID tracking, retransmission
+	// timers).
+	Overhead(m *simtime.Model) time.Duration
+}
+
+// ErrBadFrame reports a control-protocol frame that cannot be parsed.
+var ErrBadFrame = errors.New("hrpc: malformed control frame")
+
+// ErrXIDMismatch reports a reply whose transaction ID does not match the
+// outstanding call.
+var ErrXIDMismatch = errors.New("hrpc: reply XID does not match call")
+
+// The control-protocol registry, mirroring the data-representation
+// registry in package marshal: binding records store component *names*,
+// and the client resolves them here at call time.
+
+var (
+	ctlMu sync.RWMutex
+	ctls  = map[string]ControlProtocol{}
+)
+
+// RegisterControl installs a control protocol. Duplicate names panic.
+func RegisterControl(c ControlProtocol) {
+	ctlMu.Lock()
+	defer ctlMu.Unlock()
+	if _, dup := ctls[c.Name()]; dup {
+		panic("hrpc: duplicate control protocol " + c.Name())
+	}
+	ctls[c.Name()] = c
+}
+
+// LookupControl resolves a control protocol by name.
+func LookupControl(name string) (ControlProtocol, error) {
+	ctlMu.RLock()
+	defer ctlMu.RUnlock()
+	c, ok := ctls[name]
+	if !ok {
+		return nil, fmt.Errorf("hrpc: unknown control protocol %q", name)
+	}
+	return c, nil
+}
+
+// ControlNames lists registered control protocols, sorted.
+func ControlNames() []string {
+	ctlMu.RLock()
+	defer ctlMu.RUnlock()
+	out := make([]string, 0, len(ctls))
+	for n := range ctls {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	RegisterControl(SunRPCControl{})
+	RegisterControl(CourierControl{})
+	RegisterControl(RawControl{})
+}

@@ -1,0 +1,89 @@
+package hrpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"hns/internal/simtime"
+)
+
+// RawControl is the Raw HRPC protocol suite's control protocol: the
+// minimal header that lets HRPC clients "make calls to any message passing
+// program that conforms with the basic RPC paradigm of make a request and
+// wait for a response". The prototype's HRPC interface to BIND was built
+// on this suite.
+type RawControl struct{}
+
+const (
+	rawStatusOK  = 0
+	rawStatusErr = 1
+)
+
+// Name implements ControlProtocol.
+func (RawControl) Name() string { return "raw" }
+
+// EncodeCall implements ControlProtocol.
+//
+// Layout: xid u32, program u32, version u32, procedure u32, args...
+func (RawControl) EncodeCall(h CallHeader, args []byte) ([]byte, error) {
+	buf := make([]byte, 0, 16+len(args))
+	buf = binary.BigEndian.AppendUint32(buf, h.XID)
+	buf = binary.BigEndian.AppendUint32(buf, h.Program)
+	buf = binary.BigEndian.AppendUint32(buf, h.Version)
+	buf = binary.BigEndian.AppendUint32(buf, h.Procedure)
+	return append(buf, args...), nil
+}
+
+// DecodeCall implements ControlProtocol.
+func (RawControl) DecodeCall(frame []byte) (CallHeader, []byte, error) {
+	if len(frame) < 16 {
+		return CallHeader{}, nil, fmt.Errorf("%w: raw call header truncated", ErrBadFrame)
+	}
+	h := CallHeader{
+		XID:       binary.BigEndian.Uint32(frame[0:]),
+		Program:   binary.BigEndian.Uint32(frame[4:]),
+		Version:   binary.BigEndian.Uint32(frame[8:]),
+		Procedure: binary.BigEndian.Uint32(frame[12:]),
+	}
+	return h, frame[16:], nil
+}
+
+// EncodeReply implements ControlProtocol.
+//
+// Layout: xid u32, status u32 (0 ok, 1 error), then results or error text.
+func (RawControl) EncodeReply(h ReplyHeader, results []byte) ([]byte, error) {
+	buf := make([]byte, 0, 8+len(results)+len(h.Err))
+	buf = binary.BigEndian.AppendUint32(buf, h.XID)
+	if h.Err != "" {
+		buf = binary.BigEndian.AppendUint32(buf, rawStatusErr)
+		return append(buf, h.Err...), nil
+	}
+	buf = binary.BigEndian.AppendUint32(buf, rawStatusOK)
+	return append(buf, results...), nil
+}
+
+// DecodeReply implements ControlProtocol.
+func (RawControl) DecodeReply(frame []byte) (ReplyHeader, []byte, error) {
+	if len(frame) < 8 {
+		return ReplyHeader{}, nil, fmt.Errorf("%w: raw reply header truncated", ErrBadFrame)
+	}
+	h := ReplyHeader{XID: binary.BigEndian.Uint32(frame[0:])}
+	switch st := binary.BigEndian.Uint32(frame[4:]); st {
+	case rawStatusOK:
+		return h, frame[8:], nil
+	case rawStatusErr:
+		h.Err = string(frame[8:])
+		if h.Err == "" {
+			h.Err = "raw: call failed"
+		}
+		return h, nil, nil
+	default:
+		return ReplyHeader{}, nil, fmt.Errorf("%w: raw status %d", ErrBadFrame, st)
+	}
+}
+
+// Overhead implements ControlProtocol.
+func (RawControl) Overhead(m *simtime.Model) time.Duration { return m.CtlRaw }
+
+var _ ControlProtocol = RawControl{}

@@ -1,0 +1,153 @@
+package hrpc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hns/internal/marshal"
+	"hns/internal/simtime"
+	"hns/internal/transport"
+)
+
+// ProcHandler implements one remote procedure. Costs charged to ctx flow
+// back to the caller through the transport cost envelope.
+type ProcHandler func(ctx context.Context, args marshal.Value) (marshal.Value, error)
+
+// Server dispatches HRPC calls for one (program, version). The same Server
+// value can be served over several protocol suites at once — the HRPC
+// emulation property: one implementation, many wire personalities.
+type Server struct {
+	name    string
+	program uint32
+	version uint32
+
+	mu    sync.RWMutex
+	procs map[uint32]serverProc
+}
+
+type serverProc struct {
+	p Procedure
+	h ProcHandler
+}
+
+// NullProcID is the conventional procedure 0: a no-op used by binding
+// protocols to probe server liveness.
+const NullProcID = 0
+
+// NullProc is the procedure-0 descriptor shared by all programs.
+var NullProc = Procedure{
+	Name: "Null", ID: NullProcID,
+	Args: marshal.TStruct(), Ret: marshal.TStruct(),
+	Style: marshal.StyleNone,
+}
+
+// NewServer creates a server for program/version. Procedure 0 (null) is
+// pre-registered so binding protocols can always ping it; Register may
+// override it.
+func NewServer(name string, program, version uint32) *Server {
+	s := &Server{
+		name:    name,
+		program: program,
+		version: version,
+		procs:   make(map[uint32]serverProc),
+	}
+	s.procs[NullProcID] = serverProc{
+		p: NullProc,
+		h: func(ctx context.Context, args marshal.Value) (marshal.Value, error) {
+			return marshal.StructV(), nil
+		},
+	}
+	return s
+}
+
+// Name reports the server's descriptive name.
+func (s *Server) Name() string { return s.name }
+
+// Program reports the server's program number.
+func (s *Server) Program() uint32 { return s.program }
+
+// Version reports the server's program version.
+func (s *Server) Version() uint32 { return s.version }
+
+// Register installs a procedure handler. Registering a duplicate procedure
+// ID (other than overriding the default null proc) panics: the procedure
+// table is the program's published interface, and a collision is a
+// programming error.
+func (s *Server) Register(p Procedure, h ProcHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.procs[p.ID]; dup && p.ID != NullProcID {
+		panic(fmt.Sprintf("hrpc: server %s: duplicate procedure %d", s.name, p.ID))
+	}
+	s.procs[p.ID] = serverProc{p: p, h: h}
+}
+
+// Handler adapts the server to a transport.Handler speaking the given data
+// representation and control protocol.
+func (s *Server) Handler(rep marshal.DataRep, ctl ControlProtocol, model *simtime.Model) transport.Handler {
+	return func(ctx context.Context, reqFrame []byte) ([]byte, error) {
+		ch, argBytes, err := ctl.DecodeCall(reqFrame)
+		if err != nil {
+			// Unparseable frame: we cannot even form a matching reply.
+			return nil, err
+		}
+		reply := func(errMsg string, results []byte) ([]byte, error) {
+			return ctl.EncodeReply(ReplyHeader{XID: ch.XID, Err: errMsg}, results)
+		}
+		if ch.Program != s.program {
+			return reply(fmt.Sprintf("program %d unavailable (this is %d %s)", ch.Program, s.program, s.name), nil)
+		}
+		if ch.Version != s.version {
+			return reply(fmt.Sprintf("program %d version mismatch: have %d, want %d", s.program, s.version, ch.Version), nil)
+		}
+		s.mu.RLock()
+		sp, ok := s.procs[ch.Procedure]
+		s.mu.RUnlock()
+		if !ok {
+			return reply(fmt.Sprintf("procedure %d unavailable on program %d", ch.Procedure, s.program), nil)
+		}
+
+		args, err := marshal.Unmarshal(rep, argBytes, sp.p.Args)
+		if err != nil {
+			return reply(fmt.Sprintf("garbage arguments for %s: %v", sp.p.Name, err), nil)
+		}
+		marshal.ChargeValue(ctx, model, sp.p.Style, args)
+
+		ret, err := sp.h(ctx, args)
+		if err != nil {
+			return reply(err.Error(), nil)
+		}
+		resBytes, err := marshal.Marshal(rep, ret, sp.p.Ret)
+		if err != nil {
+			return reply(fmt.Sprintf("cannot marshal %s result: %v", sp.p.Name, err), nil)
+		}
+		marshal.ChargeValue(ctx, model, sp.p.Style, ret)
+		return reply("", resBytes)
+	}
+}
+
+// Serve binds the server to addr on the given network using the suite's
+// components, returning the listener and the Binding clients should use.
+// The returned binding's Addr is the listener's concrete address (which
+// matters for the real-socket transports, where the kernel picks the
+// port).
+func Serve(net *transport.Network, s *Server, suite Suite, host, addr string) (transport.Listener, Binding, error) {
+	tr, err := net.Transport(suite.Transport)
+	if err != nil {
+		return nil, Binding{}, err
+	}
+	rep, err := marshal.Lookup(suite.DataRep)
+	if err != nil {
+		return nil, Binding{}, err
+	}
+	ctl, err := LookupControl(suite.Control)
+	if err != nil {
+		return nil, Binding{}, err
+	}
+	ln, err := tr.Listen(addr, s.Handler(rep, ctl, net.Model()))
+	if err != nil {
+		return nil, Binding{}, err
+	}
+	return ln, suite.Bind(host, ln.Addr(), s.program, s.version), nil
+}

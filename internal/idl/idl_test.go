@@ -1,0 +1,148 @@
+package idl
+
+import (
+	"errors"
+	"go/format"
+	"strings"
+	"testing"
+)
+
+const sampleIDL = `
+// a comment
+program Sample 9000 version 2
+
+type Pair struct {
+    key   string
+    value bytes
+}
+
+proc Put 1 (p Pair) returns ()
+proc Get 2 (key string) returns (found bool, p Pair)
+proc Keys 3 () returns (keys list<string>)
+proc Nested 4 (matrix list<list<uint32>>) returns (total uint64)
+`
+
+func TestParseSample(t *testing.T) {
+	iface, err := ParseString(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iface.Program != "Sample" || iface.Number != 9000 || iface.Version != 2 {
+		t.Fatalf("program = %+v", iface)
+	}
+	if len(iface.Types) != 1 || iface.Types[0].Name != "Pair" || len(iface.Types[0].Fields) != 2 {
+		t.Fatalf("types = %+v", iface.Types)
+	}
+	if len(iface.Procs) != 4 {
+		t.Fatalf("procs = %d", len(iface.Procs))
+	}
+	get := iface.Procs[1]
+	if get.Name != "Get" || get.ID != 2 || len(get.Args) != 1 || len(get.Returns) != 2 {
+		t.Fatalf("Get = %+v", get)
+	}
+	if get.Returns[1].Type.Named != "Pair" {
+		t.Fatalf("Get returns = %+v", get.Returns)
+	}
+	nested := iface.Procs[3]
+	if nested.Args[0].Type.Base != "list" || nested.Args[0].Type.Elem.Base != "list" ||
+		nested.Args[0].Type.Elem.Elem.Base != "uint32" {
+		t.Fatalf("nested list type = %+v", nested.Args[0].Type)
+	}
+}
+
+func TestParseMultilineStruct(t *testing.T) {
+	iface, err := ParseString(`
+program M 1 version 1
+type T struct {
+    a string
+    b uint32
+}
+proc P 1 (t T) returns ()
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iface.Types[0].Fields) != 2 {
+		t.Fatalf("fields = %+v", iface.Types[0].Fields)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no program", `proc P 1 () returns ()`},
+		{"bad program number", `program X nope version 1`},
+		{"duplicate program", "program A 1 version 1\nprogram B 2 version 1\nproc P 1 () returns ()"},
+		{"unknown keyword", "program A 1 version 1\nfrobnicate"},
+		{"unknown type ref", "program A 1 version 1\nproc P 1 (x Nope) returns ()"},
+		{"duplicate proc id", "program A 1 version 1\nproc P 1 () returns ()\nproc Q 1 () returns ()"},
+		{"duplicate proc name", "program A 1 version 1\nproc P 1 () returns ()\nproc P 2 () returns ()"},
+		{"proc id zero", "program A 1 version 1\nproc P 0 () returns ()"},
+		{"no procs", "program A 1 version 1"},
+		{"empty struct", "program A 1 version 1\ntype T struct { }\nproc P 1 () returns ()"},
+		{"duplicate type", "program A 1 version 1\ntype T struct { a string }\ntype T struct { b string }\nproc P 1 () returns ()"},
+		{"unterminated list", "program A 1 version 1\nproc P 1 (x list<string) returns ()"},
+		{"missing returns", "program A 1 version 1\nproc P 1 (x string)"},
+		{"unterminated struct", "program A 1 version 1\ntype T struct { a string"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.src); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// ParseError carries a line number.
+	_, err := ParseString("program A 1 version 1\nbogus line here")
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Line != 2 {
+		t.Fatalf("ParseError line = %v", err)
+	}
+}
+
+func TestGenerateCompilesSyntactically(t *testing.T) {
+	iface, err := ParseString(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(iface, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+	out := string(formatted)
+	for _, want := range []string{
+		"type SampleClient struct",
+		"type SampleHandler interface",
+		"func NewSampleServer(",
+		"var GetProc = hrpc.Procedure",
+		"func encListString(",
+		"func decListListUint32(",
+		"SampleProgram uint32 = 9000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	iface, err := ParseString(sampleIDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(iface, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(iface, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("generation is not deterministic")
+	}
+}

@@ -1,0 +1,387 @@
+package marshal
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hns/internal/simtime"
+)
+
+// sampleType is a representative message shape: a struct holding scalars, a
+// string, bytes, and a list of structs (like a resource-record answer).
+var sampleType = TStruct(
+	TUint32,
+	TUint64,
+	TBool,
+	TString,
+	TBytes,
+	TList(TStruct(TString, TUint32)),
+)
+
+func sampleValue() Value {
+	return StructV(
+		U32(0xdeadbeef),
+		U64(1<<40+7),
+		BoolV(true),
+		Str("fiji.cs.washington.edu"),
+		BytesV([]byte{1, 2, 3, 4, 5}),
+		ListV(
+			StructV(Str("a"), U32(1)),
+			StructV(Str("bb"), U32(2)),
+		),
+	)
+}
+
+func reps() []DataRep { return []DataRep{XDR{}, Courier{}} }
+
+func TestRoundTripSample(t *testing.T) {
+	for _, r := range reps() {
+		t.Run(r.Name(), func(t *testing.T) {
+			buf, err := Marshal(r, sampleValue(), sampleType)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Unmarshal(r, buf, sampleType)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !Equal(got, sampleValue()) {
+				t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, sampleValue())
+			}
+		})
+	}
+}
+
+func TestRoundTripEmpties(t *testing.T) {
+	ty := TStruct(TString, TBytes, TList(TUint32))
+	v := StructV(Str(""), BytesV(nil), ListV())
+	for _, r := range reps() {
+		buf, err := Marshal(r, v, ty)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		got, err := Unmarshal(r, buf, ty)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+		if got.Items[0].Str != "" || len(got.Items[1].Bytes) != 0 || got.Items[2].Len() != 0 {
+			t.Fatalf("%s: empties mangled: %v", r.Name(), got)
+		}
+	}
+}
+
+func TestXDRPadding(t *testing.T) {
+	// A 1-byte string must occupy 4 (len) + 4 (padded body) bytes.
+	buf, err := Marshal(XDR{}, Str("x"), TString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 8 {
+		t.Fatalf("XDR 1-byte string occupies %d bytes, want 8", len(buf))
+	}
+}
+
+func TestCourierPadding(t *testing.T) {
+	// A 1-byte string must occupy 2 (len) + 2 (padded body) bytes.
+	buf, err := Marshal(Courier{}, Str("x"), TString)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 4 {
+		t.Fatalf("Courier 1-byte string occupies %d bytes, want 4", len(buf))
+	}
+}
+
+func TestCourierSequenceLimit(t *testing.T) {
+	long := strings.Repeat("a", 70000)
+	if _, err := Marshal(Courier{}, Str(long), TString); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("Courier must reject >65535-byte strings, got %v", err)
+	}
+	// XDR has no such limit.
+	if _, err := Marshal(XDR{}, Str(long), TString); err != nil {
+		t.Fatalf("XDR must accept long strings: %v", err)
+	}
+}
+
+func TestMarshalRejectsTypeMismatch(t *testing.T) {
+	for _, r := range reps() {
+		if _, err := Marshal(r, Str("x"), TUint32); !errors.Is(err, ErrTypeMismatch) {
+			t.Fatalf("%s: want ErrTypeMismatch, got %v", r.Name(), err)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	for _, r := range reps() {
+		buf, err := Marshal(r, sampleValue(), sampleType)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every strict prefix must fail cleanly, never panic.
+		for i := 0; i < len(buf); i++ {
+			if _, err := Unmarshal(r, buf[:i], sampleType); err == nil {
+				t.Fatalf("%s: truncation at %d/%d decoded successfully", r.Name(), i, len(buf))
+			}
+		}
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	for _, r := range reps() {
+		buf, err := Marshal(r, U32(5), TUint32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, 0xff)
+		if _, err := Unmarshal(r, buf, TUint32); err == nil {
+			t.Fatalf("%s: trailing bytes accepted", r.Name())
+		}
+	}
+}
+
+func TestDecodeHostileListCount(t *testing.T) {
+	// A wire message claiming 2^32-1 list elements with no bodies must
+	// fail with truncation, not allocate or hang.
+	buf := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, _, err := (XDR{}).Decode(buf, TList(TUint32)); err == nil {
+		t.Fatal("hostile list count accepted")
+	}
+}
+
+func TestBoolStrictEncoding(t *testing.T) {
+	if _, _, err := (XDR{}).Decode([]byte{0, 0, 0, 2}, TBool); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("XDR bool 2 accepted: %v", err)
+	}
+	if _, _, err := (Courier{}).Decode([]byte{0, 2}, TBool); !errors.Is(err, ErrBadValue) {
+		t.Fatalf("Courier bool 2 accepted: %v", err)
+	}
+}
+
+// genValue builds a random value conforming to a random type of bounded
+// depth, for property testing.
+func genValue(r *rand.Rand, depth int) (Value, Type) {
+	kinds := []Kind{KindUint32, KindUint64, KindBool, KindString, KindBytes}
+	if depth > 0 {
+		kinds = append(kinds, KindList, KindStruct)
+	}
+	switch kinds[r.Intn(len(kinds))] {
+	case KindUint32:
+		return U32(r.Uint32()), TUint32
+	case KindUint64:
+		return U64(r.Uint64()), TUint64
+	case KindBool:
+		return BoolV(r.Intn(2) == 1), TBool
+	case KindString:
+		b := make([]byte, r.Intn(40))
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		return Str(string(b)), TString
+	case KindBytes:
+		b := make([]byte, r.Intn(40))
+		r.Read(b)
+		return BytesV(b), TBytes
+	case KindList:
+		elemV, elemT := genValue(r, depth-1)
+		n := r.Intn(4)
+		items := make([]Value, 0, n+1)
+		items = append(items, elemV)
+		for i := 0; i < n; i++ {
+			// All elements must share the element type; regenerate until
+			// shape-compatible by just reusing scalar kinds.
+			v2 := regenOfType(r, elemT, depth-1)
+			items = append(items, v2)
+		}
+		return ListV(items...), TList(elemT)
+	default: // struct
+		n := 1 + r.Intn(4)
+		vals := make([]Value, 0, n)
+		types := make([]Type, 0, n)
+		for i := 0; i < n; i++ {
+			v, ty := genValue(r, depth-1)
+			vals = append(vals, v)
+			types = append(types, ty)
+		}
+		return StructV(vals...), TStruct(types...)
+	}
+}
+
+// regenOfType makes a fresh random value conforming to t.
+func regenOfType(r *rand.Rand, t Type, depth int) Value {
+	switch t.Kind {
+	case KindUint32:
+		return U32(r.Uint32())
+	case KindUint64:
+		return U64(r.Uint64())
+	case KindBool:
+		return BoolV(r.Intn(2) == 1)
+	case KindString:
+		b := make([]byte, r.Intn(20))
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		return Str(string(b))
+	case KindBytes:
+		b := make([]byte, r.Intn(20))
+		r.Read(b)
+		return BytesV(b)
+	case KindList:
+		n := r.Intn(3)
+		items := make([]Value, 0, n)
+		for i := 0; i < n; i++ {
+			items = append(items, regenOfType(r, *t.Elem, depth-1))
+		}
+		return ListV(items...)
+	default:
+		vals := make([]Value, 0, len(t.Fields))
+		for _, ft := range t.Fields {
+			vals = append(vals, regenOfType(r, ft, depth-1))
+		}
+		return StructV(vals...)
+	}
+}
+
+// Property: marshal→unmarshal is the identity for every representation and
+// every well-typed value.
+func TestRoundTripProperty(t *testing.T) {
+	for _, r := range reps() {
+		r := r
+		t.Run(r.Name(), func(t *testing.T) {
+			f := func(seed int64) bool {
+				rnd := rand.New(rand.NewSource(seed))
+				v, ty := genValue(rnd, 3)
+				buf, err := Marshal(r, v, ty)
+				if err != nil {
+					t.Logf("marshal: %v", err)
+					return false
+				}
+				got, err := Unmarshal(r, buf, ty)
+				if err != nil {
+					t.Logf("unmarshal: %v", err)
+					return false
+				}
+				return Equal(got, v)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: decoding any random byte soup never panics.
+func TestDecodeFuzzProperty(t *testing.T) {
+	for _, r := range reps() {
+		r := r
+		f := func(raw []byte, seed int64) bool {
+			rnd := rand.New(rand.NewSource(seed))
+			_, ty := genValue(rnd, 2)
+			_, _ = Unmarshal(r, raw, ty) // must not panic
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	if got := NodeCount(U32(1)); got != 1 {
+		t.Fatalf("scalar NodeCount = %d", got)
+	}
+	v := StructV(U32(1), ListV(Str("a"), Str("b")))
+	// struct + u32 + list + 2 strings = 5
+	if got := NodeCount(v); got != 5 {
+		t.Fatalf("NodeCount = %d, want 5", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"xdr", "courier"} {
+		r, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if r.Name() != name {
+			t.Fatalf("Lookup(%q).Name() = %q", name, r.Name())
+		}
+	}
+	if _, err := Lookup("ndr"); err == nil {
+		t.Fatal("Lookup of unregistered rep succeeded")
+	}
+	names := Names()
+	if len(names) < 2 {
+		t.Fatalf("Names() = %v, want at least xdr and courier", names)
+	}
+}
+
+func TestChargeStyles(t *testing.T) {
+	model := simtime.Default()
+	v := sampleValue()
+
+	genCost, _ := simtime.Measure(context.Background(), func(ctx context.Context) error {
+		ChargeValue(ctx, model, StyleGenerated, v)
+		return nil
+	})
+	handCost, _ := simtime.Measure(context.Background(), func(ctx context.Context) error {
+		ChargeValue(ctx, model, StyleHand, v)
+		return nil
+	})
+	if genCost <= handCost {
+		t.Fatalf("generated (%v) must cost more than hand (%v)", genCost, handCost)
+	}
+
+	gen1, _ := simtime.Measure(context.Background(), func(ctx context.Context) error {
+		ChargeRecords(ctx, model, StyleGenerated, 1)
+		return nil
+	})
+	gen6, _ := simtime.Measure(context.Background(), func(ctx context.Context) error {
+		ChargeRecords(ctx, model, StyleGenerated, 6)
+		return nil
+	})
+	if gen6 <= gen1 {
+		t.Fatal("marshalling cost must grow with record count")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if _, err := U32(1).AsString(); err == nil {
+		t.Fatal("AsString on uint32 succeeded")
+	}
+	s, err := Str("x").AsString()
+	if err != nil || s != "x" {
+		t.Fatalf("AsString = %q, %v", s, err)
+	}
+	b, err := BoolV(true).AsBool()
+	if err != nil || !b {
+		t.Fatalf("AsBool = %v, %v", b, err)
+	}
+	st := StructV(U32(9))
+	f, err := st.Field(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.AsU32(); n != 9 {
+		t.Fatalf("Field(0) = %v", f)
+	}
+	if _, err := st.Field(1); err == nil {
+		t.Fatal("out-of-range Field succeeded")
+	}
+	if _, err := U32(1).Field(0); err == nil {
+		t.Fatal("Field on scalar succeeded")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	v := StructV(U32(1), Str("a"), ListV(BoolV(true)), BytesV([]byte{0xab}))
+	got := v.String()
+	for _, want := range []string{"1", `"a"`, "true", "0xab"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q, missing %q", got, want)
+		}
+	}
+}

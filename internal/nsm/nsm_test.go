@@ -1,0 +1,359 @@
+package nsm_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"hns/internal/bind"
+	"hns/internal/names"
+	"hns/internal/nsm"
+	"hns/internal/qclass"
+	"hns/internal/simtime"
+	"hns/internal/world"
+)
+
+func newWorld(t *testing.T, cfg world.Config) *world.World {
+	t.Helper()
+	w, err := world.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func TestBindHostAddrResolve(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	addr, err := w.BindHostNSM.ResolveHost(context.Background(), world.HostBind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "fiji" {
+		t.Fatalf("ResolveHost = %q", addr)
+	}
+	if _, err := w.BindHostNSM.ResolveHost(context.Background(), "ghost.cs.washington.edu"); err == nil {
+		t.Fatal("ghost host resolved")
+	}
+}
+
+func TestCHHostAddrResolve(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	addr, err := w.CHHostNSM.ResolveHost(context.Background(), world.HostXerox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "xerox" {
+		t.Fatalf("ResolveHost = %q", addr)
+	}
+	// Malformed three-part name.
+	if _, err := w.CHHostNSM.ResolveHost(context.Background(), "not-a-ch-name"); err == nil {
+		t.Fatal("malformed CH name resolved")
+	}
+}
+
+func TestHostAddrCaches(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	ctx := context.Background()
+	if _, err := w.BindHostNSM.ResolveHost(ctx, world.HostBind); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := simtime.Measure(ctx, func(ctx context.Context) error {
+		_, err := w.BindHostNSM.ResolveHost(ctx, world.HostBind)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A warm resolve must not pay the 27 ms BIND lookup.
+	if cost > 10*time.Millisecond {
+		t.Fatalf("warm ResolveHost = %v; cache not effective", cost)
+	}
+	st := w.BindHostNSM.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats = %+v", st)
+	}
+	w.BindHostNSM.FlushCache()
+	if _, err := w.BindHostNSM.ResolveHost(ctx, world.HostBind); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.BindHostNSM.CacheStats(); st.Misses != 2 {
+		t.Fatalf("flush did not empty cache: %+v", st)
+	}
+}
+
+func TestBindBindingNSM(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	ctx := context.Background()
+	b, err := w.BindBindingNSM.BindService(ctx, world.DesiredService,
+		world.DesiredProgram, world.DesiredVersion, world.DesiredServiceName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Program != world.DesiredProgram || b.Control != "sunrpc" {
+		t.Fatalf("binding = %v", b)
+	}
+	// The binding actually works: call the service through it.
+	ret, err := w.RPC.Call(ctx, b, world.EchoProc,
+		world.EchoArgs("imported!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ret.Items[0].AsString(); got != "imported!" {
+		t.Fatalf("echo through imported binding = %q", got)
+	}
+}
+
+func TestBindBindingNSMErrors(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	ctx := context.Background()
+	// Unregistered program.
+	_, err := w.BindBindingNSM.BindService(ctx, "nothing", 999999, 1, world.DesiredServiceName())
+	if err == nil || !strings.Contains(err.Error(), "portmap") {
+		t.Fatalf("unregistered program: %v", err)
+	}
+	// Unknown host.
+	_, err = w.BindBindingNSM.BindService(ctx, world.DesiredService,
+		world.DesiredProgram, world.DesiredVersion,
+		names.Must(world.CtxBind, "ghost.cs.washington.edu"))
+	if err == nil {
+		t.Fatal("binding against ghost host succeeded")
+	}
+}
+
+// TestBindBindingNSMCostAnchor pins the Table 3.1 decomposition: an
+// NSM-side cache miss costs ≈92 ms (column B minus column C... i.e.
+// column B row 1 is HNS-hit 88 + NSM miss 92 = 180) and a hit ≈16 ms.
+func TestBindBindingNSMCostAnchor(t *testing.T) {
+	w := newWorld(t, world.Config{CacheMode: bind.CacheMarshalled})
+	ctx := context.Background()
+
+	missCost, err := simtime.Measure(ctx, func(ctx context.Context) error {
+		_, err := w.BindBindingNSM.BindService(ctx, world.DesiredService,
+			world.DesiredProgram, world.DesiredVersion, world.DesiredServiceName())
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitCost, err := simtime.Measure(ctx, func(ctx context.Context) error {
+		_, err := w.BindBindingNSM.BindService(ctx, world.DesiredService,
+			world.DesiredProgram, world.DesiredVersion, world.DesiredServiceName())
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ms(missCost); got < 70 || got > 115 {
+		t.Errorf("NSM miss work = %.1f ms, want ≈92 ms", got)
+	}
+	if got := ms(hitCost); got < 10 || got > 22 {
+		t.Errorf("NSM hit work = %.1f ms, want ≈16 ms", got)
+	}
+}
+
+func TestCHBindingNSM(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	ctx := context.Background()
+	b, err := w.CHBindingNSM.BindService(ctx, "fileserver",
+		world.CourierProgram, world.CourierVersion, world.CourierServiceName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Control != "courier" {
+		t.Fatalf("CH-world service binding = %v", b)
+	}
+	ret, err := w.RPC.Call(ctx, b, world.EchoProc, world.EchoArgs("courier!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ret.Items[0].AsString(); got != "courier!" {
+		t.Fatalf("echo = %q", got)
+	}
+	// Program mismatch between stub and advertised binding.
+	_, err = w.CHBindingNSM.BindService(ctx, "fileserver", 123, 1, world.CourierServiceName())
+	if err == nil || !strings.Contains(err.Error(), "advertises") {
+		t.Fatalf("program mismatch: %v", err)
+	}
+}
+
+// TestIdenticalInterfaceAcrossWorlds is the heart of the NSM idea: the
+// same remote call works against either world's binding NSM.
+func TestIdenticalInterfaceAcrossWorlds(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	ctx := context.Background()
+
+	cases := []struct {
+		name    names.Name
+		service string
+		prog    uint32
+		vers    uint32
+	}{
+		{world.DesiredServiceName(), world.DesiredService, world.DesiredProgram, world.DesiredVersion},
+		{world.CourierServiceName(), "fileserver", world.CourierProgram, world.CourierVersion},
+	}
+	for _, tc := range cases {
+		// The client knows only the query class: FindNSM designates the
+		// NSM, and the identical interface does the rest.
+		nsmB, err := w.HNS.FindNSM(ctx, tc.name, qclass.HRPCBinding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svcB, err := nsm.CallBindService(ctx, w.RPC, nsmB, tc.service, tc.prog, tc.vers, tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		ret, err := w.RPC.Call(ctx, svcB, world.EchoProc, world.EchoArgs("hi"))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got, _ := ret.Items[0].AsString(); got != "hi" {
+			t.Fatalf("%s: echo = %q", tc.name, got)
+		}
+	}
+}
+
+func TestRemoteNSMCallCosts(t *testing.T) {
+	// "The remote call to the NSM takes 22-38 msec., depending on the RPC
+	// system used." Measure the pure call overhead (warm NSM cache) for
+	// the Sun-suite and Courier-suite NSMs.
+	w := newWorld(t, world.Config{})
+	ctx := context.Background()
+
+	measure := func(name names.Name, service string, prog, vers uint32) time.Duration {
+		t.Helper()
+		nsmB, err := w.HNS.FindNSM(ctx, name, qclass.HRPCBinding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm: NSM cache filled, TCP connections established.
+		if _, err := nsm.CallBindService(ctx, w.RPC, nsmB, service, prog, vers, name); err != nil {
+			t.Fatal(err)
+		}
+		warmNSM, err := simtime.Measure(ctx, func(ctx context.Context) error {
+			_, err := nsm.CallBindService(ctx, w.RPC, nsmB, service, prog, vers, name)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Subtract the NSM's internal hit work to isolate the call.
+		inner, err := simtime.Measure(ctx, func(ctx context.Context) error {
+			if name.Context == world.CtxBind {
+				_, err := w.BindBindingNSM.BindService(ctx, service, prog, vers, name)
+				return err
+			}
+			_, err := w.CHBindingNSM.BindService(ctx, service, prog, vers, name)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return warmNSM - inner
+	}
+
+	sun := measure(world.DesiredServiceName(), world.DesiredService, world.DesiredProgram, world.DesiredVersion)
+	courier := measure(world.CourierServiceName(), "fileserver", world.CourierProgram, world.CourierVersion)
+	if sun >= courier {
+		t.Fatalf("Sun NSM call (%v) should be cheaper than Courier (%v)", sun, courier)
+	}
+	for name, d := range map[string]time.Duration{"sun": sun, "courier": courier} {
+		if got := ms(d); got < 18 || got > 46 {
+			t.Errorf("%s NSM call = %.1f ms, want the paper's 22-38 ms band", name, got)
+		}
+	}
+}
+
+func TestMailRouteNSMs(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	ctx := context.Background()
+
+	host, route, err := w.BindMailNSM.Route(ctx, world.MailUserBind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host != world.MailHostBind || route != "smtp" {
+		t.Fatalf("bind mail route = %q %q", host, route)
+	}
+	host, route, err = w.CHMailNSM.Route(ctx, world.MailUserCH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host != world.MailHostCH || route != "grapevine" {
+		t.Fatalf("ch mail route = %q %q", host, route)
+	}
+	if _, _, err := w.BindMailNSM.Route(ctx, "nobody.cs.washington.edu"); err == nil {
+		t.Fatal("unknown user routed")
+	}
+}
+
+func TestMailRouteViaHNS(t *testing.T) {
+	// Full path: FindNSM for the mail query class, then the identical
+	// MailRoute call, for users in both worlds.
+	w := newWorld(t, world.Config{})
+	ctx := context.Background()
+	cases := []struct {
+		name     names.Name
+		wantHost string
+	}{
+		{names.Must(world.CtxMailB, world.MailUserBind), world.MailHostBind},
+		{names.Must(world.CtxMailCH, world.MailUserCH), world.MailHostCH},
+	}
+	for _, tc := range cases {
+		b, err := w.HNS.FindNSM(ctx, tc.name, qclass.MailRoute)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		host, _, err := nsm.CallMailRoute(ctx, w.RPC, b, tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if host != tc.wantHost {
+			t.Fatalf("%s: mail host = %q, want %q", tc.name, host, tc.wantHost)
+		}
+	}
+}
+
+func TestRemoteResolveHostCall(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	ctx := context.Background()
+	name := names.Must(world.CtxHostB, world.HostBind)
+	b, err := w.HNS.FindNSM(ctx, name, qclass.HostAddress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := nsm.CallResolveHost(ctx, w.RPC, b, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "fiji" {
+		t.Fatalf("remote ResolveHost = %q", addr)
+	}
+}
+
+func TestNSMIdentity(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	checks := []struct {
+		n       nsm.NSM
+		qc, svc string
+	}{
+		{w.BindHostNSM, qclass.HostAddress, world.NSBind},
+		{w.CHHostNSM, qclass.HostAddress, world.NSCH},
+		{w.BindBindingNSM, qclass.HRPCBinding, world.NSBind},
+		{w.CHBindingNSM, qclass.HRPCBinding, world.NSCH},
+		{w.BindMailNSM, qclass.MailRoute, world.NSBind},
+		{w.CHMailNSM, qclass.MailRoute, world.NSCH},
+	}
+	for _, c := range checks {
+		if c.n.QueryClass() != c.qc || c.n.NameService() != c.svc {
+			t.Errorf("%s: identity = %s/%s, want %s/%s",
+				c.n.Name(), c.n.QueryClass(), c.n.NameService(), c.qc, c.svc)
+		}
+		if c.n.Name() == "" {
+			t.Errorf("NSM with empty name")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package qclass
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hns/internal/hrpc"
+)
+
+// FormatBinding renders a binding as a single string, for storage in name
+// services that hold opaque values (Clearinghouse properties, the
+// reregistered-files baseline).
+func FormatBinding(b hrpc.Binding) string {
+	return strings.Join([]string{
+		b.Host, b.Addr, b.Transport, b.DataRep, b.Control,
+		strconv.FormatUint(uint64(b.Program), 10),
+		strconv.FormatUint(uint64(b.Version), 10),
+	}, "|")
+}
+
+// ParseBinding reverses FormatBinding.
+func ParseBinding(s string) (hrpc.Binding, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) != 7 {
+		return hrpc.Binding{}, fmt.Errorf("qclass: malformed binding %q", s)
+	}
+	prog, err := strconv.ParseUint(parts[5], 10, 32)
+	if err != nil {
+		return hrpc.Binding{}, fmt.Errorf("qclass: malformed binding program in %q: %v", s, err)
+	}
+	vers, err := strconv.ParseUint(parts[6], 10, 32)
+	if err != nil {
+		return hrpc.Binding{}, fmt.Errorf("qclass: malformed binding version in %q: %v", s, err)
+	}
+	return hrpc.Binding{
+		Host: parts[0], Addr: parts[1],
+		Transport: parts[2], DataRep: parts[3], Control: parts[4],
+		Program: uint32(prog), Version: uint32(vers),
+	}, nil
+}

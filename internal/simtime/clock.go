@@ -1,0 +1,50 @@
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts "now" so that TTL-based expiry (resolver caches, the HNS
+// meta-cache, zone serials) is testable without real sleeps.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock reads the system clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced clock for tests.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock returns a FakeClock positioned at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{t: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// Set positions the clock at t.
+func (c *FakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = t
+}

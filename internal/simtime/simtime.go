@@ -1,0 +1,129 @@
+// Package simtime provides the simulated-cost substrate used throughout the
+// HNS reproduction.
+//
+// The original paper (Schwartz, Zahorjan & Notkin, SOSP 1987) reports
+// elapsed-time measurements taken on 1987 hardware: MicroVAX-IIs on an
+// Ethernet, BIND servers with memory-resident data, and Xerox Clearinghouse
+// servers that authenticate every access and read from disk. None of that
+// hardware exists here, so instead of measuring wall-clock time we *model*
+// it: every component in the stack (transport, control protocol,
+// marshalling, server work, disk, authentication) charges its simulated cost
+// to a Meter carried in the context.Context of the call.
+//
+// Costs compose exactly as real elapsed time does on a synchronous RPC path:
+// a client charges the network round trip, and the transport layer carries
+// the server's accumulated processing cost back in a reply envelope, which
+// the client also charges (see package transport). The result is that a
+// simulated call's cost is the sum of every component it actually touched —
+// so cache hits, colocation, and marshalling strategy change the simulated
+// cost through the same mechanisms that changed wall-clock time in the
+// paper.
+//
+// The constants in Model are calibrated against the paper's component-level
+// anchors (BIND lookup 27 ms, Clearinghouse lookup 156 ms, remote NSM call
+// 22–38 ms, Table 3.2's marshalling costs). Absolute agreement with the
+// paper is not the goal; reproducing the shape of its results is.
+package simtime
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Meter accumulates simulated cost. It is safe for concurrent use.
+//
+// The zero value is a valid, usable meter.
+type Meter struct {
+	mu      sync.Mutex
+	elapsed time.Duration
+	events  int
+
+	// SleepScale, when positive, makes every Charge also sleep for the
+	// charged duration multiplied by SleepScale. This turns the simulation
+	// into a (scaled) real-time one, which is useful for live demos of the
+	// daemons; tests and benchmarks leave it zero.
+	SleepScale float64
+}
+
+// NewMeter returns a fresh meter.
+func NewMeter() *Meter { return &Meter{} }
+
+// Charge adds d to the accumulated simulated cost. Negative charges are
+// ignored.
+func (m *Meter) Charge(d time.Duration) {
+	if m == nil || d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.elapsed += d
+	m.events++
+	scale := m.SleepScale
+	m.mu.Unlock()
+	if scale > 0 {
+		time.Sleep(time.Duration(float64(d) * scale))
+	}
+}
+
+// Elapsed reports the total simulated cost charged so far.
+func (m *Meter) Elapsed() time.Duration {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.elapsed
+}
+
+// Events reports how many individual charges have been recorded.
+func (m *Meter) Events() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+// Reset zeroes the meter and returns the cost accumulated before the reset.
+func (m *Meter) Reset() time.Duration {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.elapsed
+	m.elapsed = 0
+	m.events = 0
+	return d
+}
+
+type meterKey struct{}
+
+// WithMeter returns a context that carries m. Components on the call path
+// charge their simulated costs to it.
+func WithMeter(ctx context.Context, m *Meter) context.Context {
+	return context.WithValue(ctx, meterKey{}, m)
+}
+
+// From extracts the meter carried by ctx. It returns nil when no meter is
+// present; a nil *Meter is safe to call, so callers never need to check.
+func From(ctx context.Context) *Meter {
+	m, _ := ctx.Value(meterKey{}).(*Meter)
+	return m
+}
+
+// Charge charges d to the meter carried by ctx, if any. It is the one-line
+// form used throughout the codebase.
+func Charge(ctx context.Context, d time.Duration) {
+	From(ctx).Charge(d)
+}
+
+// Measure runs fn with a fresh meter installed in ctx and returns the
+// simulated cost fn accrued. It is the standard way benchmarks and the
+// harness time a single operation.
+func Measure(ctx context.Context, fn func(ctx context.Context) error) (time.Duration, error) {
+	m := NewMeter()
+	err := fn(WithMeter(ctx, m))
+	return m.Elapsed(), err
+}

@@ -1,0 +1,207 @@
+package simtime
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeterZeroValueUsable(t *testing.T) {
+	var m Meter
+	m.Charge(time.Millisecond)
+	if got := m.Elapsed(); got != time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 1ms", got)
+	}
+	if got := m.Events(); got != 1 {
+		t.Fatalf("Events = %d, want 1", got)
+	}
+}
+
+func TestMeterNilSafe(t *testing.T) {
+	var m *Meter
+	m.Charge(time.Second) // must not panic
+	if m.Elapsed() != 0 || m.Events() != 0 || m.Reset() != 0 {
+		t.Fatal("nil meter must report zero everywhere")
+	}
+}
+
+func TestMeterIgnoresNonPositive(t *testing.T) {
+	m := NewMeter()
+	m.Charge(0)
+	m.Charge(-time.Second)
+	if m.Elapsed() != 0 || m.Events() != 0 {
+		t.Fatalf("non-positive charges must be ignored, got %v/%d", m.Elapsed(), m.Events())
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter()
+	m.Charge(3 * time.Millisecond)
+	if got := m.Reset(); got != 3*time.Millisecond {
+		t.Fatalf("Reset returned %v, want 3ms", got)
+	}
+	if m.Elapsed() != 0 || m.Events() != 0 {
+		t.Fatal("meter not cleared by Reset")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	const workers, per = 16, 100
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				m.Charge(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := m.Elapsed(), time.Duration(workers*per)*time.Microsecond; got != want {
+		t.Fatalf("Elapsed = %v, want %v", got, want)
+	}
+	if got := m.Events(); got != workers*per {
+		t.Fatalf("Events = %d, want %d", got, workers*per)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	m := NewMeter()
+	ctx := WithMeter(context.Background(), m)
+	Charge(ctx, 5*time.Millisecond)
+	if got := m.Elapsed(); got != 5*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 5ms", got)
+	}
+	if From(ctx) != m {
+		t.Fatal("From did not return installed meter")
+	}
+}
+
+func TestChargeWithoutMeterIsNoop(t *testing.T) {
+	Charge(context.Background(), time.Hour) // must not panic
+	if From(context.Background()) != nil {
+		t.Fatal("From on bare context must be nil")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	cost, err := Measure(context.Background(), func(ctx context.Context) error {
+		Charge(ctx, 7*time.Millisecond)
+		Charge(ctx, 3*time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 10*time.Millisecond {
+		t.Fatalf("Measure cost = %v, want 10ms", cost)
+	}
+}
+
+func TestMeasurePropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	cost, err := Measure(context.Background(), func(ctx context.Context) error {
+		Charge(ctx, time.Millisecond)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if cost != time.Millisecond {
+		t.Fatalf("cost = %v, want 1ms even on error", cost)
+	}
+}
+
+// Property: charging any sequence of positive durations accumulates their sum.
+func TestMeterAccumulationProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		m := NewMeter()
+		var want time.Duration
+		for _, v := range raw {
+			d := time.Duration(v) * time.Microsecond
+			m.Charge(d)
+			if d > 0 {
+				want += d
+			}
+		}
+		return m.Elapsed() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelAnchors(t *testing.T) {
+	m := Default()
+
+	// Table 3.2 anchors: hand-coded marshalling 0.65 / 2.6 ms, generated
+	// marshalling (one demarshal per marshalled-cache hit) 11.11 / 26.17 ms,
+	// demarshalled cache hit 0.83 / 1.22 ms.
+	approx := func(name string, got time.Duration, wantMS, tolMS float64) {
+		t.Helper()
+		gotMS := float64(got) / float64(time.Millisecond)
+		if gotMS < wantMS-tolMS || gotMS > wantMS+tolMS {
+			t.Errorf("%s = %.2f ms, want %.2f ± %.2f", name, gotMS, wantMS, tolMS)
+		}
+	}
+	approx("HandMarshal(1)", m.HandMarshal(1), 0.65, 0.05)
+	approx("HandMarshal(6)", m.HandMarshal(6), 2.60, 0.10)
+	approx("GenMarshal(1)", m.GenMarshal(1), 11.11, 0.10)
+	approx("GenMarshal(6)", m.GenMarshal(6), 26.17, 0.10)
+	approx("CacheHit(1)", m.CacheHit(1), 0.83, 0.05)
+	approx("CacheHit(6)", m.CacheHit(6), 1.22, 0.10)
+
+	// BIND lookup anchor: RTTUDP + CtlSunRPC(udp control not used by the
+	// standard interface; the standard library speaks its own protocol) —
+	// the aggregate check lives in the bind package; here we only pin the
+	// transport share to something that can still sum to ~27 ms.
+	if m.RTTUDP+m.BindServerLookup+m.HandMarshal(1) > 30*time.Millisecond {
+		t.Errorf("BIND lookup decomposition exceeds 30 ms: %v", m.RTTUDP+m.BindServerLookup+m.HandMarshal(1))
+	}
+}
+
+func TestModelOrderings(t *testing.T) {
+	m := Default()
+	if m.GenMarshal(1) <= m.HandMarshal(1) {
+		t.Error("generated marshalling must cost more than hand-coded")
+	}
+	if m.CacheHit(1) >= m.GenMarshal(1) {
+		t.Error("demarshalled cache hit must beat a generated demarshal")
+	}
+	if m.RTTInProc >= m.RTTUDP || m.RTTUDP >= m.RTTTCP {
+		t.Error("transport RTTs must order inproc < udp < tcp")
+	}
+	if m.CHAuth+m.CHDiskRead <= m.BindServerLookup {
+		t.Error("Clearinghouse access must dwarf a BIND lookup (paper footnote 5)")
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	start := time.Date(1987, 11, 8, 0, 0, 0, 0, time.UTC) // SOSP '87
+	c := NewFakeClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatal("fake clock not at start")
+	}
+	c.Advance(90 * time.Second)
+	if got := c.Now(); !got.Equal(start.Add(90 * time.Second)) {
+		t.Fatalf("Advance: got %v", got)
+	}
+	c.Set(start)
+	if !c.Now().Equal(start) {
+		t.Fatal("Set did not reposition clock")
+	}
+}
+
+func TestRealClockMonotoneEnough(t *testing.T) {
+	c := RealClock{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatal("real clock went backwards")
+	}
+}

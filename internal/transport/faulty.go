@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Failure injection: a wrapper transport that makes selected calls fail as
+// if the network dropped them. Used to test the RPC layer's retransmission
+// discipline and every caller's error path — datagrams on a 1987 Ethernet
+// did get lost.
+
+// ErrInjectedLoss is the failure a Faulty transport injects; it mimics a
+// datagram timeout (a transport-level error, distinct from a remote
+// fault).
+var ErrInjectedLoss = errors.New("transport: injected packet loss (timeout)")
+
+// FailFunc decides whether call number n (1-based, counted per wrapped
+// transport) should fail.
+type FailFunc func(n int) bool
+
+// DropEvery returns a FailFunc failing every k-th call (k ≥ 1).
+func DropEvery(k int) FailFunc {
+	return func(n int) bool { return k > 0 && n%k == 0 }
+}
+
+// DropFirst returns a FailFunc failing the first k calls.
+func DropFirst(k int) FailFunc {
+	return func(n int) bool { return n <= k }
+}
+
+// Faulty wraps an inner transport, injecting losses per the FailFunc.
+// Listen passes through untouched (the server is fine; the network isn't).
+type Faulty struct {
+	inner Transport
+	name  string
+	fail  FailFunc
+
+	mu    sync.Mutex
+	calls int
+}
+
+// NewFaulty wraps inner under the given registry name.
+func NewFaulty(inner Transport, name string, fail FailFunc) *Faulty {
+	return &Faulty{inner: inner, name: name, fail: fail}
+}
+
+// Name implements Transport.
+func (f *Faulty) Name() string { return f.name }
+
+// Calls reports how many calls have been attempted through the wrapper.
+func (f *Faulty) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// Listen implements Transport.
+func (f *Faulty) Listen(addr string, h Handler) (Listener, error) {
+	return f.inner.Listen(addr, h)
+}
+
+// Dial implements Transport.
+func (f *Faulty) Dial(ctx context.Context, addr string) (Conn, error) {
+	conn, err := f.inner.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyConn{f: f, inner: conn}, nil
+}
+
+type faultyConn struct {
+	f     *Faulty
+	inner Conn
+}
+
+// Call implements Conn, dropping calls per the plan.
+func (c *faultyConn) Call(ctx context.Context, req []byte) ([]byte, error) {
+	c.f.mu.Lock()
+	c.f.calls++
+	n := c.f.calls
+	c.f.mu.Unlock()
+	if c.f.fail(n) {
+		return nil, fmt.Errorf("%w (call %d)", ErrInjectedLoss, n)
+	}
+	return c.inner.Call(ctx, req)
+}
+
+// Close implements Conn.
+func (c *faultyConn) Close() error { return c.inner.Close() }

@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hns/internal/simtime"
+)
+
+func TestFaultyInjectsLosses(t *testing.T) {
+	n := NewNetwork(simtime.Default())
+	inner, _ := n.Transport("udp")
+	flaky := NewFaulty(inner, "udp-flaky", DropEvery(2))
+	n.Register(flaky)
+
+	ln, err := flaky.Listen("h:1", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := flaky.Dial(context.Background(), "h:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Call 1 succeeds, call 2 dropped, call 3 succeeds, ...
+	for i := 1; i <= 6; i++ {
+		_, err := conn.Call(context.Background(), []byte("x"))
+		if i%2 == 0 {
+			if !errors.Is(err, ErrInjectedLoss) {
+				t.Fatalf("call %d: want injected loss, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if flaky.Calls() != 6 {
+		t.Fatalf("Calls = %d", flaky.Calls())
+	}
+}
+
+func TestDropFirst(t *testing.T) {
+	f := DropFirst(2)
+	for n, want := range map[int]bool{1: true, 2: true, 3: false, 100: false} {
+		if f(n) != want {
+			t.Errorf("DropFirst(2)(%d) = %v", n, f(n))
+		}
+	}
+	g := DropEvery(3)
+	for n, want := range map[int]bool{1: false, 3: true, 6: true, 7: false} {
+		if g(n) != want {
+			t.Errorf("DropEvery(3)(%d) = %v", n, g(n))
+		}
+	}
+	if DropEvery(0)(5) {
+		t.Error("DropEvery(0) must never fail calls")
+	}
+}
+
+func TestFaultyListenPassthrough(t *testing.T) {
+	n := NewNetwork(simtime.Default())
+	inner, _ := n.Transport("udp")
+	flaky := NewFaulty(inner, "udp-flaky2", DropEvery(0))
+	ln, err := flaky.Listen("h:9", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// The endpoint is reachable through the unwrapped transport too: the
+	// failures are a client-path phenomenon.
+	conn, err := inner.Dial(context.Background(), "h:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Call(context.Background(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Wire framing shared by the real TCP and UDP transports.
+//
+// Request body:  the payload, verbatim.
+// Reply body:    [8-byte simulated cost, ns][1-byte status][payload],
+//                where status 0 = success (payload is the reply) and
+//                status 1 = handler error (payload is the error text).
+// Over TCP each body is preceded by a 4-byte big-endian length; over UDP
+// each body is one datagram.
+
+const (
+	statusOK  = 0
+	statusErr = 1
+
+	// maxFrame bounds a frame so a corrupt or hostile length prefix
+	// cannot force a huge allocation. BIND resource records are ≤256
+	// bytes and zone transfers are streamed record-by-record, so 1 MiB is
+	// generous.
+	maxFrame = 1 << 20
+)
+
+// encodeReply builds a reply body from a handler outcome.
+func encodeReply(cost time.Duration, payload []byte, handlerErr error) []byte {
+	var body []byte
+	if handlerErr != nil {
+		msg := handlerErr.Error()
+		body = make([]byte, 0, 9+len(msg))
+		body = binary.BigEndian.AppendUint64(body, uint64(cost))
+		body = append(body, statusErr)
+		body = append(body, msg...)
+		return body
+	}
+	body = make([]byte, 0, 9+len(payload))
+	body = binary.BigEndian.AppendUint64(body, uint64(cost))
+	body = append(body, statusOK)
+	body = append(body, payload...)
+	return body
+}
+
+// decodeReply splits a reply body into cost and payload, converting a
+// status-1 body into a *RemoteError.
+func decodeReply(body []byte) (time.Duration, []byte, error) {
+	if len(body) < 9 {
+		return 0, nil, fmt.Errorf("transport: short reply frame (%d bytes)", len(body))
+	}
+	cost := time.Duration(binary.BigEndian.Uint64(body))
+	status := body[8]
+	payload := body[9:]
+	switch status {
+	case statusOK:
+		return cost, payload, nil
+	case statusErr:
+		return cost, nil, &RemoteError{Msg: string(payload)}
+	default:
+		return 0, nil, fmt.Errorf("transport: bad reply status %d", status)
+	}
+}
+
+// writeFrame writes a length-prefixed body to a stream.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed body from a stream.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"hns/internal/simtime"
+)
+
+// simEndpoint is one registered in-process server.
+type simEndpoint struct {
+	handler Handler
+	closed  chan struct{}
+}
+
+// simTransport delivers calls by direct function invocation while charging
+// the round trip of the transport it models. Endpoints are scoped by
+// transport name, so "udp" and "tcp" listeners can share an address string
+// without colliding — exactly like distinct protocol port spaces.
+type simTransport struct {
+	net   *Network
+	name  string
+	costs func(*simtime.Model) (rttNanos, setupNanos int64)
+}
+
+func newSimTransport(n *Network, name string, costs func(*simtime.Model) (int64, int64)) *simTransport {
+	return &simTransport{net: n, name: name, costs: costs}
+}
+
+// Name implements Transport.
+func (t *simTransport) Name() string { return t.name }
+
+func (t *simTransport) key(addr string) string { return t.name + "!" + addr }
+
+// Listen implements Transport.
+func (t *simTransport) Listen(addr string, h Handler) (Listener, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("transport %s: empty listen address", t.name)
+	}
+	ep := &simEndpoint{handler: h, closed: make(chan struct{})}
+	t.net.mu.Lock()
+	defer t.net.mu.Unlock()
+	key := t.key(addr)
+	if _, dup := t.net.endpoints[key]; dup {
+		return nil, fmt.Errorf("transport %s: address %s already in use", t.name, addr)
+	}
+	t.net.endpoints[key] = ep
+	return &simListener{t: t, addr: addr, ep: ep}, nil
+}
+
+// Dial implements Transport. Simulated dials are cheap name checks; the
+// connection-setup cost (for stream transports) is charged here.
+func (t *simTransport) Dial(ctx context.Context, addr string) (Conn, error) {
+	t.net.mu.RLock()
+	ep, ok := t.net.endpoints[t.key(addr)]
+	t.net.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s %s", ErrRefused, t.name, addr)
+	}
+	_, setup := t.costs(t.net.model)
+	simtime.Charge(ctx, time.Duration(setup))
+	return &simConn{t: t, addr: addr, ep: ep}, nil
+}
+
+type simListener struct {
+	t    *simTransport
+	addr string
+	ep   *simEndpoint
+	once sync.Once
+}
+
+// Addr implements Listener.
+func (l *simListener) Addr() string { return l.addr }
+
+// Close implements Listener.
+func (l *simListener) Close() error {
+	l.once.Do(func() {
+		close(l.ep.closed)
+		l.t.net.mu.Lock()
+		defer l.t.net.mu.Unlock()
+		// Only remove if we still own the slot (a new listener may have
+		// replaced us after an earlier Close).
+		if l.t.net.endpoints[l.t.key(l.addr)] == l.ep {
+			delete(l.t.net.endpoints, l.t.key(l.addr))
+		}
+	})
+	return nil
+}
+
+type simConn struct {
+	t    *simTransport
+	addr string
+	ep   *simEndpoint
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Call implements Conn. The server handler runs on the caller's goroutine —
+// delivery is synchronous, like a blocked RPC — with a fresh meter whose
+// total is charged back to the caller, mirroring the cost envelope the real
+// transports carry on the wire.
+func (c *simConn) Call(ctx context.Context, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-c.ep.closed:
+		return nil, fmt.Errorf("%w: %s %s", ErrRefused, c.t.name, c.addr)
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rtt, _ := c.t.costs(c.t.net.model)
+	simtime.Charge(ctx, time.Duration(rtt))
+
+	serverMeter := simtime.NewMeter()
+	resp, err := c.ep.handler(simtime.WithMeter(context.Background(), serverMeter), req)
+	simtime.Charge(ctx, serverMeter.Elapsed())
+	if err != nil {
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+// Close implements Conn.
+func (c *simConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}

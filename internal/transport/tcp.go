@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"hns/internal/simtime"
+)
+
+// tcpTransport carries frames over real TCP sockets. It is what the cmd/
+// daemons deploy on. Simulated costs are charged identically to the "tcp"
+// simulated transport, so a multi-process deployment reports the same
+// simulated latencies the in-process harness does (plus whatever real time
+// the kernel spends, which the simulation ignores).
+type tcpTransport struct {
+	model *simtime.Model
+}
+
+// Name implements Transport.
+func (t *tcpTransport) Name() string { return "tcp-net" }
+
+// Dial implements Transport.
+func (t *tcpTransport) Dial(ctx context.Context, addr string) (Conn, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	simtime.Charge(ctx, t.model.TCPConnSetup)
+	return &tcpConn{model: t.model, c: c}, nil
+}
+
+// Listen implements Transport.
+func (t *tcpTransport) Listen(addr string, h Handler) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &tcpListener{ln: ln, h: h, done: make(chan struct{})}
+	go l.acceptLoop()
+	return l, nil
+}
+
+type tcpListener struct {
+	ln   net.Listener
+	h    Handler
+	done chan struct{}
+	once sync.Once
+}
+
+// Addr implements Listener.
+func (l *tcpListener) Addr() string { return l.ln.Addr().String() }
+
+// Close implements Listener.
+func (l *tcpListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return l.ln.Close()
+}
+
+func (l *tcpListener) acceptLoop() {
+	for {
+		c, err := l.ln.Accept()
+		if err != nil {
+			select {
+			case <-l.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		go l.serveConn(c)
+	}
+}
+
+func (l *tcpListener) serveConn(c net.Conn) {
+	defer c.Close()
+	for {
+		req, err := readFrame(c)
+		if err != nil {
+			return // EOF or broken peer; drop the connection.
+		}
+		meter := simtime.NewMeter()
+		resp, herr := l.h(simtime.WithMeter(context.Background(), meter), req)
+		if err := writeFrame(c, encodeReply(meter.Elapsed(), resp, herr)); err != nil {
+			return
+		}
+	}
+}
+
+type tcpConn struct {
+	model *simtime.Model
+
+	mu     sync.Mutex
+	c      net.Conn
+	closed bool
+}
+
+// Call implements Conn. Calls are serialized on the connection.
+func (c *tcpConn) Call(ctx context.Context, req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if err := c.c.SetDeadline(dl); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := c.c.SetDeadline(time.Now().Add(30 * time.Second)); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeFrame(c.c, req); err != nil {
+		return nil, err
+	}
+	body, err := readFrame(c.c)
+	if err != nil {
+		return nil, err
+	}
+	simtime.Charge(ctx, c.model.RTTTCP)
+	cost, payload, err := decodeReply(body)
+	simtime.Charge(ctx, cost)
+	return payload, err
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.c.Close()
+}

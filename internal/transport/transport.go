@@ -1,0 +1,169 @@
+// Package transport implements the HRPC "transport protocol" component:
+// how a request message is carried from one host to another and its reply
+// carried back.
+//
+// Three transport families are provided:
+//
+//   - simulated ("inproc", "udp", "tcp", "udp-local", "tcp-local"): delivery
+//     is an in-process function call, but each call charges the calibrated
+//     round-trip cost of the transport it models. This is how the benchmark
+//     harness runs a whole heterogeneous network — clients, HNS, NSMs, BIND
+//     and Clearinghouse servers — inside one process with paper-scale
+//     simulated latencies.
+//   - real TCP ("tcp-net") and real UDP ("udp-net"): actual sockets, used by
+//     the cmd/ daemons. They charge the same simulated costs, so a
+//     multi-process deployment reports the same simulated numbers.
+//
+// Every reply carries a cost envelope: the simulated cost the server
+// accrued while handling the request. The client charges that plus the
+// round trip to its own meter, so simulated elapsed time composes across
+// any depth of nested calls exactly like wall-clock time does for
+// synchronous RPC.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hns/internal/simtime"
+)
+
+// Handler processes one request and produces a reply. The ctx carries a
+// fresh simtime meter whose accumulated cost is returned to the caller in
+// the reply envelope. A returned error is propagated to the caller as a
+// *RemoteError.
+type Handler func(ctx context.Context, req []byte) ([]byte, error)
+
+// Conn is a client connection able to perform round-trip calls. Conns are
+// safe for concurrent use; calls are serialized per connection, matching
+// the one-outstanding-call RPC discipline of the 1987 systems.
+type Conn interface {
+	// Call sends req and returns the reply payload. The round-trip and
+	// remote processing costs are charged to the meter in ctx.
+	Call(ctx context.Context, req []byte) ([]byte, error)
+	// Close releases the connection.
+	Close() error
+}
+
+// Listener is a bound server endpoint.
+type Listener interface {
+	// Addr reports the address clients should dial. For real transports
+	// this includes the kernel-assigned port.
+	Addr() string
+	// Close unbinds the endpoint.
+	Close() error
+}
+
+// Transport creates connections and listeners for one protocol family.
+type Transport interface {
+	// Name identifies the transport in bindings ("udp", "tcp-net", ...).
+	Name() string
+	// Dial connects to addr. Connection setup cost (if any) is charged to
+	// the meter in ctx.
+	Dial(ctx context.Context, addr string) (Conn, error)
+	// Listen binds addr and serves requests through h.
+	Listen(addr string, h Handler) (Listener, error)
+}
+
+// RemoteError is an error produced by the remote handler (as opposed to a
+// transport failure).
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+
+// ErrRefused reports a dial or call to an address nothing is listening on.
+var ErrRefused = errors.New("transport: connection refused")
+
+// ErrClosed reports use of a closed connection or listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Network is the environment a set of transports lives in: the cost model
+// plus the in-process endpoint table the simulated transports deliver
+// through. One Network models one internetwork; tests create isolated
+// Networks freely.
+type Network struct {
+	model *simtime.Model
+
+	mu         sync.RWMutex
+	endpoints  map[string]*simEndpoint
+	transports map[string]Transport
+}
+
+// NewNetwork creates a network using the given cost model and registers the
+// standard transports. model must not be nil.
+func NewNetwork(model *simtime.Model) *Network {
+	if model == nil {
+		panic("transport: nil model")
+	}
+	n := &Network{
+		model:      model,
+		endpoints:  make(map[string]*simEndpoint),
+		transports: make(map[string]Transport),
+	}
+	for _, t := range []Transport{
+		newSimTransport(n, "inproc", func(m *simtime.Model) (rtt, setup int64) {
+			return int64(m.RTTInProc), 0
+		}),
+		newSimTransport(n, "udp", func(m *simtime.Model) (int64, int64) {
+			return int64(m.RTTUDP), 0
+		}),
+		newSimTransport(n, "tcp", func(m *simtime.Model) (int64, int64) {
+			return int64(m.RTTTCP), int64(m.TCPConnSetup)
+		}),
+		newSimTransport(n, "udp-local", func(m *simtime.Model) (int64, int64) {
+			return int64(m.RTTUDPLocal), 0
+		}),
+		newSimTransport(n, "tcp-local", func(m *simtime.Model) (int64, int64) {
+			return int64(m.RTTTCPLocal), int64(m.TCPConnSetup)
+		}),
+		&tcpTransport{model: model},
+		&udpTransport{model: model},
+	} {
+		n.Register(t)
+	}
+	return n
+}
+
+// Model exposes the network's cost model.
+func (n *Network) Model() *simtime.Model { return n.model }
+
+// Register installs a transport. Duplicate names panic: transport names are
+// protocol identifiers stored in HNS binding records, so a collision is a
+// programming error.
+func (n *Network) Register(t Transport) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.transports[t.Name()]; dup {
+		panic("transport: duplicate transport " + t.Name())
+	}
+	n.transports[t.Name()] = t
+}
+
+// Transport resolves a transport by name.
+func (n *Network) Transport(name string) (Transport, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	t, ok := n.transports[name]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown transport %q", name)
+	}
+	return t, nil
+}
+
+// Transports lists the registered transport names, sorted.
+func (n *Network) Transports() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.transports))
+	for name := range n.transports {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

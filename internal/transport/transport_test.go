@@ -1,0 +1,510 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hns/internal/simtime"
+)
+
+func newTestNetwork() *Network { return NewNetwork(simtime.Default()) }
+
+func echoHandler(ctx context.Context, req []byte) ([]byte, error) {
+	return req, nil
+}
+
+// chargeHandler charges a known server-side cost before echoing.
+func chargeHandler(d time.Duration) Handler {
+	return func(ctx context.Context, req []byte) ([]byte, error) {
+		simtime.Charge(ctx, d)
+		return req, nil
+	}
+}
+
+func TestSimTransportsRoundTrip(t *testing.T) {
+	n := newTestNetwork()
+	for _, name := range []string{"inproc", "udp", "tcp", "udp-local", "tcp-local"} {
+		t.Run(name, func(t *testing.T) {
+			tr, err := n.Transport(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln, err := tr.Listen("fiji:7", echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+
+			conn, err := tr.Dial(context.Background(), "fiji:7")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			got, err := conn.Call(context.Background(), []byte("hello"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != "hello" {
+				t.Fatalf("echo = %q", got)
+			}
+		})
+	}
+}
+
+func TestSimCostCharging(t *testing.T) {
+	n := newTestNetwork()
+	model := n.Model()
+	serverWork := 8 * time.Millisecond
+
+	cases := []struct {
+		transport string
+		rtt       time.Duration
+		setup     time.Duration
+	}{
+		{"inproc", model.RTTInProc, 0},
+		{"udp", model.RTTUDP, 0},
+		{"tcp", model.RTTTCP, model.TCPConnSetup},
+		{"udp-local", model.RTTUDPLocal, 0},
+		{"tcp-local", model.RTTTCPLocal, model.TCPConnSetup},
+	}
+	for _, tc := range cases {
+		t.Run(tc.transport, func(t *testing.T) {
+			tr, _ := n.Transport(tc.transport)
+			ln, err := tr.Listen("host:"+tc.transport, chargeHandler(serverWork))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+
+			cost, err := simtime.Measure(context.Background(), func(ctx context.Context) error {
+				conn, err := tr.Dial(ctx, "host:"+tc.transport)
+				if err != nil {
+					return err
+				}
+				defer conn.Close()
+				_, err = conn.Call(ctx, []byte("x"))
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tc.rtt + tc.setup + serverWork
+			if cost != want {
+				t.Fatalf("cost = %v, want %v (rtt %v + setup %v + server %v)",
+					cost, want, tc.rtt, tc.setup, serverWork)
+			}
+		})
+	}
+}
+
+func TestSimNestedCostPropagation(t *testing.T) {
+	// client -> A -> B: the client's meter must see both round trips plus
+	// B's processing, exactly like synchronous wall-clock time.
+	n := newTestNetwork()
+	model := n.Model()
+	tr, _ := n.Transport("udp")
+
+	serverB := 5 * time.Millisecond
+	lnB, err := tr.Listen("b:1", chargeHandler(serverB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnB.Close()
+
+	lnA, err := tr.Listen("a:1", func(ctx context.Context, req []byte) ([]byte, error) {
+		conn, err := tr.Dial(ctx, "b:1")
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		return conn.Call(ctx, req)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lnA.Close()
+
+	cost, err := simtime.Measure(context.Background(), func(ctx context.Context) error {
+		conn, err := tr.Dial(ctx, "a:1")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		_, err = conn.Call(ctx, []byte("x"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*model.RTTUDP + serverB
+	if cost != want {
+		t.Fatalf("nested cost = %v, want %v", cost, want)
+	}
+}
+
+func TestSimDialRefused(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("udp")
+	if _, err := tr.Dial(context.Background(), "nowhere:9"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("want ErrRefused, got %v", err)
+	}
+}
+
+func TestSimCallAfterListenerClose(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("udp")
+	ln, _ := tr.Listen("h:1", echoHandler)
+	conn, err := tr.Dial(context.Background(), "h:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	if _, err := conn.Call(context.Background(), []byte("x")); !errors.Is(err, ErrRefused) {
+		t.Fatalf("want ErrRefused after listener close, got %v", err)
+	}
+}
+
+func TestSimDoubleListen(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("udp")
+	ln, err := tr.Listen("h:1", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := tr.Listen("h:1", echoHandler); err == nil {
+		t.Fatal("double listen succeeded")
+	}
+	// A different transport may reuse the same address string.
+	tr2, _ := n.Transport("tcp")
+	ln2, err := tr2.Listen("h:1", echoHandler)
+	if err != nil {
+		t.Fatalf("cross-transport address reuse failed: %v", err)
+	}
+	ln2.Close()
+}
+
+func TestSimListenerCloseThenRebind(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("udp")
+	ln, _ := tr.Listen("h:1", echoHandler)
+	ln.Close()
+	ln2, err := tr.Listen("h:1", echoHandler)
+	if err != nil {
+		t.Fatalf("rebind after close failed: %v", err)
+	}
+	defer ln2.Close()
+	// Closing the first listener again must not tear down the second.
+	ln.Close()
+	conn, err := tr.Dial(context.Background(), "h:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Call(context.Background(), []byte("x")); err != nil {
+		t.Fatalf("call after stale close: %v", err)
+	}
+}
+
+func TestSimRemoteError(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("inproc")
+	ln, _ := tr.Listen("h:1", func(ctx context.Context, req []byte) ([]byte, error) {
+		return nil, errors.New("no such name")
+	})
+	defer ln.Close()
+	conn, _ := tr.Dial(context.Background(), "h:1")
+	_, err := conn.Call(context.Background(), []byte("x"))
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RemoteError, got %v", err)
+	}
+	if !strings.Contains(re.Error(), "no such name") {
+		t.Fatalf("remote error text lost: %q", re.Error())
+	}
+}
+
+func TestSimClosedConn(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("inproc")
+	ln, _ := tr.Listen("h:1", echoHandler)
+	defer ln.Close()
+	conn, _ := tr.Dial(context.Background(), "h:1")
+	conn.Close()
+	if _, err := conn.Call(context.Background(), []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestSimCancelledContext(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("inproc")
+	ln, _ := tr.Listen("h:1", echoHandler)
+	defer ln.Close()
+	conn, _ := tr.Dial(context.Background(), "h:1")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := conn.Call(ctx, []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestSimConcurrentCalls(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("udp")
+	ln, _ := tr.Listen("h:1", echoHandler)
+	defer ln.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := tr.Dial(context.Background(), "h:1")
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			for j := 0; j < 50; j++ {
+				got, err := conn.Call(context.Background(), msg)
+				if err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+				if !bytes.Equal(got, msg) {
+					t.Errorf("echo mismatch: %q != %q", got, msg)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestUnknownTransport(t *testing.T) {
+	n := newTestNetwork()
+	if _, err := n.Transport("carrier-pigeon"); err == nil {
+		t.Fatal("unknown transport resolved")
+	}
+}
+
+func TestTransportsList(t *testing.T) {
+	n := newTestNetwork()
+	names := n.Transports()
+	want := []string{"inproc", "tcp", "tcp-local", "tcp-net", "udp", "udp-local", "udp-net"}
+	if len(names) != len(want) {
+		t.Fatalf("Transports() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Transports() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	n := newTestNetwork()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	n.Register(newSimTransport(n, "udp", func(m *simtime.Model) (int64, int64) { return 0, 0 }))
+}
+
+// ---- Real-socket transports.
+
+func TestTCPNetRoundTrip(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("tcp-net")
+	ln, err := tr.Listen("127.0.0.1:0", chargeHandler(3*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cost, err := simtime.Measure(context.Background(), func(ctx context.Context) error {
+		conn, err := tr.Dial(ctx, ln.Addr())
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		got, err := conn.Call(ctx, []byte("ping"))
+		if err != nil {
+			return err
+		}
+		if string(got) != "ping" {
+			return fmt.Errorf("echo = %q", got)
+		}
+		// Second call on the same connection: no setup cost again.
+		_, err = conn.Call(ctx, []byte("pong"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := n.Model()
+	want := model.TCPConnSetup + 2*(model.RTTTCP+3*time.Millisecond)
+	if cost != want {
+		t.Fatalf("cost = %v, want %v", cost, want)
+	}
+}
+
+func TestTCPNetRemoteError(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("tcp-net")
+	ln, err := tr.Listen("127.0.0.1:0", func(ctx context.Context, req []byte) ([]byte, error) {
+		return nil, errors.New("kaboom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := tr.Dial(context.Background(), ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, err = conn.Call(context.Background(), []byte("x"))
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("want RemoteError(kaboom), got %v", err)
+	}
+}
+
+func TestUDPNetRoundTrip(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("udp-net")
+	ln, err := tr.Listen("127.0.0.1:0", chargeHandler(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cost, err := simtime.Measure(context.Background(), func(ctx context.Context) error {
+		conn, err := tr.Dial(ctx, ln.Addr())
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		got, err := conn.Call(ctx, []byte("datagram"))
+		if err != nil {
+			return err
+		}
+		if string(got) != "datagram" {
+			return fmt.Errorf("echo = %q", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := n.Model()
+	want := model.RTTUDP + 2*time.Millisecond
+	if cost != want {
+		t.Fatalf("cost = %v, want %v", cost, want)
+	}
+}
+
+func TestUDPNetOversizedRequest(t *testing.T) {
+	n := newTestNetwork()
+	tr, _ := n.Transport("udp-net")
+	ln, err := tr.Listen("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := tr.Dial(context.Background(), ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Call(context.Background(), make([]byte, maxDatagram+1)); err == nil {
+		t.Fatal("oversized datagram accepted")
+	}
+}
+
+// ---- Frame codec.
+
+func TestReplyCodecRoundTrip(t *testing.T) {
+	body := encodeReply(7*time.Millisecond, []byte("payload"), nil)
+	cost, payload, err := decodeReply(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 7*time.Millisecond || string(payload) != "payload" {
+		t.Fatalf("got %v %q", cost, payload)
+	}
+
+	body = encodeReply(time.Millisecond, nil, errors.New("oops"))
+	_, _, err = decodeReply(body)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "oops" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestReplyCodecShort(t *testing.T) {
+	if _, _, err := decodeReply([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short reply accepted")
+	}
+}
+
+func TestReplyCodecBadStatus(t *testing.T) {
+	body := encodeReply(0, []byte("x"), nil)
+	body[8] = 99
+	if _, _, err := decodeReply(body); err == nil {
+		t.Fatal("bad status accepted")
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(payload []byte, costMicros uint32, isErr bool) bool {
+		var herr error
+		if isErr {
+			herr = errors.New(string(payload))
+		}
+		body := encodeReply(time.Duration(costMicros)*time.Microsecond, payload, herr)
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, body); err != nil {
+			return false
+		}
+		back, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		cost, got, derr := decodeReply(back)
+		if cost != time.Duration(costMicros)*time.Microsecond {
+			return false
+		}
+		if isErr {
+			var re *RemoteError
+			return errors.As(derr, &re) && re.Msg == string(payload)
+		}
+		return derr == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("oversized frame written")
+	}
+	// A hostile length prefix must be rejected before allocation.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("hostile frame length accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"hns/internal/simtime"
+)
+
+// udpTransport carries frames over real UDP datagrams: one datagram per
+// request, one per reply, no retransmission — faithful to the Sun RPC
+// discipline the prototype emulated (callers retry at the RPC layer if they
+// care). Payloads are limited to what fits a datagram.
+type udpTransport struct {
+	model *simtime.Model
+}
+
+// Name implements Transport.
+func (t *udpTransport) Name() string { return "udp-net" }
+
+// maxDatagram bounds request/reply payloads on the real UDP transport.
+const maxDatagram = 60 * 1024
+
+// Dial implements Transport.
+func (t *udpTransport) Dial(ctx context.Context, addr string) (Conn, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	return &udpConn{model: t.model, c: c}, nil
+}
+
+// Listen implements Transport.
+func (t *udpTransport) Listen(addr string, h Handler) (Listener, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	l := &udpListener{pc: pc, h: h, done: make(chan struct{})}
+	go l.serveLoop()
+	return l, nil
+}
+
+type udpListener struct {
+	pc   *net.UDPConn
+	h    Handler
+	done chan struct{}
+	once sync.Once
+}
+
+// Addr implements Listener.
+func (l *udpListener) Addr() string { return l.pc.LocalAddr().String() }
+
+// Close implements Listener.
+func (l *udpListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return l.pc.Close()
+}
+
+func (l *udpListener) serveLoop() {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, peer, err := l.pc.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-l.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		req := make([]byte, n)
+		copy(req, buf[:n])
+		go func(req []byte, peer *net.UDPAddr) {
+			meter := simtime.NewMeter()
+			resp, herr := l.h(simtime.WithMeter(context.Background(), meter), req)
+			body := encodeReply(meter.Elapsed(), resp, herr)
+			if len(body) <= maxDatagram {
+				_, _ = l.pc.WriteToUDP(body, peer)
+			}
+		}(req, peer)
+	}
+}
+
+type udpConn struct {
+	model *simtime.Model
+
+	mu     sync.Mutex
+	c      *net.UDPConn
+	closed bool
+}
+
+// Call implements Conn.
+func (c *udpConn) Call(ctx context.Context, req []byte) ([]byte, error) {
+	if len(req) > maxDatagram {
+		return nil, errors.New("transport: request exceeds datagram limit")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		dl = time.Now().Add(10 * time.Second)
+	}
+	if err := c.c.SetDeadline(dl); err != nil {
+		return nil, err
+	}
+	if _, err := c.c.Write(req); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, maxDatagram)
+	n, err := c.c.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	simtime.Charge(ctx, c.model.RTTUDP)
+	cost, payload, err := decodeReply(buf[:n])
+	simtime.Charge(ctx, cost)
+	return payload, err
+}
+
+// Close implements Conn.
+func (c *udpConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.c.Close()
+}

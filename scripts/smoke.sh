@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Real-socket smoke test: deploy the full federation as daemons on
+# localhost, register a world through hnsctl, and resolve through it.
+# Mirrors the deployment section of README.md.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'kill $(cat "$workdir/pids" 2>/dev/null) 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+cd "$(dirname "$0")/.."
+go build -o "$workdir" ./cmd/...
+
+cat > "$workdir/app.zone" <<'EOF'
+fiji.cs.washington.edu  600 A 127.0.0.1
+june.cs.washington.edu  600 A 127.0.0.1
+EOF
+
+cd "$workdir"
+./bindd -host tahoma -zone hns -update -hrpc 127.0.0.1:5301 -std "" >meta.log 2>&1 &
+echo $! >> pids
+./bindd -host fiji -zone cs.washington.edu -update -records app.zone \
+        -hrpc 127.0.0.1:5304 -std 127.0.0.1:5302 >app.log 2>&1 &
+echo $! >> pids
+./chd -host xerox -addr 127.0.0.1:5303 -open >ch.log 2>&1 &
+echo $! >> pids
+./nsmd -type hostaddr-bind -ns bind-cs -bind-std 127.0.0.1:5302 \
+       -addr 127.0.0.1:5320 >nsm.log 2>&1 &
+echo $! >> pids
+./hnsd -addr 127.0.0.1:5310 -meta 127.0.0.1:5301 \
+       -link-bind bind-cs=127.0.0.1:5302 >hns.log 2>&1 &
+echo $! >> pids
+sleep 1
+
+./hnsctl register-ns      -meta 127.0.0.1:5301 bind-cs bind
+./hnsctl register-context -meta 127.0.0.1:5301 hostaddr-bind bind-cs
+./hnsctl register-nsm     -meta 127.0.0.1:5301 -name hostaddr-bind-1 \
+        -ns bind-cs -qclass hostaddress -nsm-host june.cs.washington.edu \
+        -hostctx hostaddr-bind -port 5320 -suite udp-net,xdr,sunrpc
+
+echo "--- lookup through the conventional BIND"
+./hnsctl lookup -server 127.0.0.1:5302 fiji.cs.washington.edu A
+
+echo "--- resolve through the HNS (FindNSM + remote HostAddress NSM)"
+out=$(./hnsctl resolve -hns 127.0.0.1:5310 hostaddr-bind fiji.cs.washington.edu)
+echo "$out"
+grep -q '127.0.0.1' <<<"$out" || { echo "SMOKE FAILED: unexpected resolve output"; exit 1; }
+
+echo "--- meta zone dump"
+./hnsctl dump -meta 127.0.0.1:5301
+
+# ---- Part 2: the Clearinghouse world + the HCS application services.
+./chd -host xerox -addr 127.0.0.1:5303 -open >chd.log 2>&1 &
+echo $! >> pids
+sleep 0.3
+./nsmd -type binding-ch -ns ch-uw -ch 127.0.0.1:5303 \
+       -ch-principal smoke:cs:uw -ch-secret pw -addr 127.0.0.1:5321 >nsm2.log 2>&1 &
+echo $! >> pids
+./hcsd -host xerox-d0 -ch 127.0.0.1:5303 -ch-principal smoke:cs:uw -ch-secret pw \
+       -exec-object compute:cs:uw -files-object bigfiles:cs:uw \
+       -exec-addr 127.0.0.1:5330 -files-addr 127.0.0.1:5331 >hcsd.log 2>&1 &
+echo $! >> pids
+sleep 0.5
+
+./hnsctl register-ns      -meta 127.0.0.1:5301 ch-uw clearinghouse
+./hnsctl register-context -meta 127.0.0.1:5301 hrpcbinding-ch ch-uw
+./hnsctl register-nsm     -meta 127.0.0.1:5301 -name binding-ch-1 \
+        -ns ch-uw -qclass hrpcbinding -nsm-host june.cs.washington.edu \
+        -hostctx hostaddr-bind -port 5321 -suite tcp-net,courier,courier
+
+echo "--- remote execution on the Xerox world, bound through the HNS"
+out=$(./hcs exec -hns 127.0.0.1:5310 'hrpcbinding-ch!compute:cs:uw' echo loose integration works)
+echo "$out"
+grep -q 'loose integration works' <<<"$out" || { echo "SMOKE FAILED: exec"; exit 1; }
+
+echo "--- filing on the Xerox world"
+./hcs file put -hns 127.0.0.1:5310 'hrpcbinding-ch!bigfiles:cs:uw' /notes/smoke "written by the smoke test"
+out=$(./hcs file get -hns 127.0.0.1:5310 'hrpcbinding-ch!bigfiles:cs:uw' /notes/smoke)
+echo "$out"
+grep -q 'smoke test' <<<"$out" || { echo "SMOKE FAILED: filing"; exit 1; }
+./hcs file ls -hns 127.0.0.1:5310 'hrpcbinding-ch!bigfiles:cs:uw' /
+
+echo "SMOKE OK"
