@@ -17,6 +17,7 @@ import (
 	"hns/internal/core"
 	"hns/internal/experiments"
 	"hns/internal/hrpc"
+	"hns/internal/metrics"
 	"hns/internal/names"
 	"hns/internal/qclass"
 	"hns/internal/regbaseline"
@@ -272,6 +273,45 @@ func BenchmarkFindNSM(b *testing.B) {
 		}
 		reportSimMS(b, totalSim)
 	})
+}
+
+// ---- Observability guard: instrumentation overhead on the warm path.
+//
+// The metrics layer must be effectively free where it matters most: the
+// cache-warm FindNSM, the call the paper says clients make "on nearly
+// every binding". Two identical warm-path arms differ only in the
+// registry: a live one (counters, per-step histograms, warm/cold
+// classification all active) versus metrics.Discard (every instrument a
+// nil no-op). Compare the wall-clock ns/op; the budget is <5% overhead.
+// EXPERIMENTS.md records the measured numbers.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	w := newBenchWorld(b)
+	ctx := context.Background()
+	name := world.DesiredServiceName()
+
+	arm := func(reg *metrics.Registry) func(*testing.B) {
+		return func(b *testing.B) {
+			h := w.NewHNS(core.Config{CacheMode: bind.CacheMarshalled, Metrics: reg})
+			if _, err := h.FindNSM(ctx, name, qclass.HRPCBinding); err != nil {
+				b.Fatal(err)
+			}
+			var totalSim time.Duration
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				cost, err := simtime.Measure(ctx, func(ctx context.Context) error {
+					_, err := h.FindNSM(ctx, name, qclass.HRPCBinding)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalSim += cost
+			}
+			reportSimMS(b, totalSim)
+		}
+	}
+	b.Run("Instrumented", arm(metrics.NewRegistry()))
+	b.Run("Discard", arm(metrics.Discard))
 }
 
 func BenchmarkUnderlyingLookups(b *testing.B) {

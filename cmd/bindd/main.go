@@ -25,6 +25,7 @@ import (
 
 	"hns/internal/bind"
 	"hns/internal/hrpc"
+	"hns/internal/metrics"
 	"hns/internal/simtime"
 	"hns/internal/transport"
 )
@@ -43,11 +44,21 @@ func main() {
 		records  = flag.String("records", "", "zone file to load at startup")
 		hrpcAddr = flag.String("hrpc", "127.0.0.1:5301", "HRPC interface listen address (TCP)")
 		stdAddr  = flag.String("std", "127.0.0.1:5302", "standard interface listen address (UDP); empty disables")
+		metrAddr = flag.String("metrics", "", "serve /metrics and /debug/hns on this address (empty disables)")
 	)
 	flag.Var(&zones, "zone", "zone origin to be authoritative for (repeatable)")
 	flag.Parse()
 	if len(zones) == 0 {
 		log.Fatal("bindd: at least one -zone is required")
+	}
+
+	if *metrAddr != "" {
+		msrv, err := metrics.Serve(*metrAddr, metrics.Default())
+		if err != nil {
+			log.Fatalf("bindd: metrics listen: %v", err)
+		}
+		defer msrv.Close()
+		log.Printf("bindd: metrics on http://%s/metrics", msrv.Addr())
 	}
 
 	model := simtime.Default()

@@ -17,6 +17,7 @@ import (
 
 	"hns/internal/clearinghouse"
 	"hns/internal/hrpc"
+	"hns/internal/metrics"
 	"hns/internal/simtime"
 	"hns/internal/transport"
 )
@@ -35,10 +36,20 @@ func main() {
 		principals stringList
 		peers      stringList
 		replCred   = flag.String("repl-cred", "", "principal=secret this server presents to peers")
+		metrAddr   = flag.String("metrics", "", "serve /metrics and /debug/hns on this address (empty disables)")
 	)
 	flag.Var(&principals, "principal", "principal=secret to admit (repeatable)")
 	flag.Var(&peers, "peer", "replication peer address (repeatable)")
 	flag.Parse()
+
+	if *metrAddr != "" {
+		msrv, err := metrics.Serve(*metrAddr, metrics.Default())
+		if err != nil {
+			log.Fatalf("chd: metrics listen: %v", err)
+		}
+		defer msrv.Close()
+		log.Printf("chd: metrics on http://%s/metrics", msrv.Addr())
+	}
 
 	model := simtime.Default()
 	net := transport.NewNetwork(model)

@@ -11,6 +11,7 @@
 //	hnsctl register-nsm     -meta 127.0.0.1:5301 -name N -ns NS -qclass QC \
 //	                        -nsm-host H -hostctx C -port P -suite t,d,c
 //	hnsctl dump    -meta 127.0.0.1:5301
+//	hnsctl stats   -from 127.0.0.1:5390 [-filter substr]
 //
 // Registrations write meta records through the modified BIND's dynamic
 // update interface; `dump` prints the whole meta zone as a zone file.
@@ -64,6 +65,8 @@ func main() {
 		err = cmdUnregister(env, args, "nsm")
 	case "dump":
 		err = cmdDump(env, args)
+	case "stats":
+		err = cmdStats(args)
 	default:
 		usage()
 	}
@@ -74,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump} [flags] args...")
+	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump|stats} [flags] args...")
 	os.Exit(2)
 }
 

@@ -28,6 +28,7 @@ import (
 	"hns/internal/clearinghouse"
 	"hns/internal/core"
 	"hns/internal/hrpc"
+	"hns/internal/metrics"
 	"hns/internal/nsm"
 	"hns/internal/simtime"
 	"hns/internal/transport"
@@ -46,12 +47,22 @@ func main() {
 		metaZone  = flag.String("metazone", "hns", "meta-information zone")
 		marshCach = flag.Bool("marshalled-cache", false, "keep the meta-cache in marshalled form (Table 3.2's slow mode)")
 		preload   = flag.Bool("preload", false, "preload the meta-cache via zone transfer at startup")
+		metrAddr  = flag.String("metrics", "", "serve /metrics and /debug/hns on this address (empty disables)")
 		linkBind  stringList
 		linkCH    stringList
 	)
 	flag.Var(&linkBind, "link-bind", "ns=stdaddr: link a BIND HostAddress NSM (repeatable)")
 	flag.Var(&linkCH, "link-ch", "ns=addr,principal,secret: link a Clearinghouse HostAddress NSM (repeatable)")
 	flag.Parse()
+
+	if *metrAddr != "" {
+		msrv, err := metrics.Serve(*metrAddr, metrics.Default())
+		if err != nil {
+			log.Fatalf("hnsd: metrics listen: %v", err)
+		}
+		defer msrv.Close()
+		log.Printf("hnsd: metrics on http://%s/metrics", msrv.Addr())
+	}
 
 	model := simtime.Default()
 	net := transport.NewNetwork(model)

@@ -26,6 +26,7 @@ import (
 	"hns/internal/bind"
 	"hns/internal/clearinghouse"
 	"hns/internal/hrpc"
+	"hns/internal/metrics"
 	"hns/internal/nsm"
 	"hns/internal/simtime"
 	"hns/internal/transport"
@@ -43,6 +44,7 @@ func main() {
 		chPrincipal = flag.String("ch-principal", "", "Clearinghouse principal")
 		chSecret    = flag.String("ch-secret", "", "Clearinghouse secret")
 		marshalled  = flag.Bool("marshalled-cache", false, "keep the NSM cache in marshalled form")
+		metrAddr    = flag.String("metrics", "", "serve /metrics and /debug/hns on this address (empty disables)")
 	)
 	flag.Parse()
 	if *nsmType == "" || *ns == "" {
@@ -50,6 +52,15 @@ func main() {
 	}
 	if *name == "" {
 		*name = *nsmType + "-1"
+	}
+
+	if *metrAddr != "" {
+		msrv, err := metrics.Serve(*metrAddr, metrics.Default())
+		if err != nil {
+			log.Fatalf("nsmd: metrics listen: %v", err)
+		}
+		defer msrv.Close()
+		log.Printf("nsmd: metrics on http://%s/metrics", msrv.Addr())
 	}
 
 	model := simtime.Default()

@@ -2,6 +2,7 @@ package bind
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,7 @@ import (
 	"hns/internal/cache"
 	"hns/internal/hrpc"
 	"hns/internal/marshal"
+	"hns/internal/metrics"
 	"hns/internal/simtime"
 	"hns/internal/transport"
 	"time"
@@ -41,20 +43,63 @@ type StdClient struct {
 	net           *transport.Network
 	transportName string
 	addr          string
+	obs           clientObs
 
 	mu   sync.Mutex
 	conn transport.Conn
 	id   atomic.Uint32
 }
 
+// clientObs holds the BIND client-side counters, shared by both client
+// flavors and labeled by interface ("std" or "hrpc").
+type clientObs struct {
+	ok, notFound, errs *metrics.Counter // bind_client_lookups_total{iface,result}
+	updates            *metrics.Counter // bind_client_updates_total{iface}
+	transfers          *metrics.Counter // bind_client_transfers_total{iface}
+}
+
+func newClientObs(iface string) clientObs {
+	r := metrics.Default()
+	lookups := func(result string) *metrics.Counter {
+		return r.Counter(metrics.Labels("bind_client_lookups_total",
+			"iface", iface, "result", result))
+	}
+	return clientObs{
+		ok:       lookups("ok"),
+		notFound: lookups("not_found"),
+		errs:     lookups("error"),
+		updates:  r.Counter(metrics.Labels("bind_client_updates_total", "iface", iface)),
+		transfers: r.Counter(metrics.Labels("bind_client_transfers_total",
+			"iface", iface)),
+	}
+}
+
+// count classifies a finished lookup into the right counter.
+func (o clientObs) count(err error) {
+	switch {
+	case err == nil:
+		o.ok.Inc()
+	case isNotFound(err):
+		o.notFound.Inc()
+	default:
+		o.errs.Inc()
+	}
+}
+
+func isNotFound(err error) bool {
+	var nf *NotFoundError
+	return errors.As(err, &nf)
+}
+
 // NewStdClient creates a standard-interface client for the server at addr
 // over the named transport ("udp" for the classic remote configuration).
 func NewStdClient(net *transport.Network, transportName, addr string) *StdClient {
-	return &StdClient{net: net, transportName: transportName, addr: addr}
+	return &StdClient{net: net, transportName: transportName, addr: addr, obs: newClientObs("std")}
 }
 
 // Lookup implements Lookuper.
-func (c *StdClient) Lookup(ctx context.Context, name string, t RRType) ([]RR, error) {
+func (c *StdClient) Lookup(ctx context.Context, name string, t RRType) (_ []RR, err error) {
+	defer func() { c.obs.count(err) }()
 	model := c.net.Model()
 	q := &Message{ID: uint16(c.id.Add(1)), QName: name, QType: t}
 	// Hand-coded request marshalling: base cost only (a question is a
@@ -125,20 +170,22 @@ func (c *StdClient) Close() error {
 // Table 3.2 measured — and it is the interface carrying dynamic updates
 // and zone transfers.
 type HRPCClient struct {
-	c *hrpc.Client
-	b hrpc.Binding
+	c   *hrpc.Client
+	b   hrpc.Binding
+	obs clientObs
 }
 
 // NewHRPCClient creates a client for the BIND HRPC interface bound at b.
 func NewHRPCClient(client *hrpc.Client, b hrpc.Binding) *HRPCClient {
-	return &HRPCClient{c: client, b: b}
+	return &HRPCClient{c: client, b: b, obs: newClientObs("hrpc")}
 }
 
 // Binding reports the binding in use.
 func (c *HRPCClient) Binding() hrpc.Binding { return c.b }
 
 // Lookup implements Lookuper.
-func (c *HRPCClient) Lookup(ctx context.Context, name string, t RRType) ([]RR, error) {
+func (c *HRPCClient) Lookup(ctx context.Context, name string, t RRType) (_ []RR, err error) {
+	defer func() { c.obs.count(err) }()
 	model := c.c.Network().Model()
 	// Generated request marshalling.
 	simtime.Charge(ctx, model.GenMarshalRequest)
@@ -180,6 +227,7 @@ func (c *HRPCClient) Update(ctx context.Context, zone string, op uint32, rr RR) 
 	if RCode(rcode) != RCodeOK {
 		return serial, fmt.Errorf("bind: update refused: %s", RCode(rcode))
 	}
+	c.obs.updates.Inc()
 	return serial, nil
 }
 
@@ -201,6 +249,7 @@ func (c *HRPCClient) Transfer(ctx context.Context, zone string) (uint32, []RR, e
 	if err != nil {
 		return serial, nil, err
 	}
+	c.obs.transfers.Inc()
 	return serial, rrs, nil
 }
 
@@ -252,6 +301,9 @@ type Resolver struct {
 	// hand for the standard backend.
 	style marshal.Style
 	cache *cache.TTL[[]RR]
+	// demarshals counts marshalled-mode hit demarshals
+	// (cache_demarshal_total{cache=...}); nil when uninstrumented.
+	demarshals *metrics.Counter
 }
 
 // ResolverConfig configures NewResolver.
@@ -264,17 +316,29 @@ type ResolverConfig struct {
 	Clock simtime.Clock
 	// MaxEntries bounds the cache; 0 = unbounded.
 	MaxEntries int
+	// Metrics, with CacheName, exposes the cache's counters as
+	// cache_*{cache=CacheName} series. Nil Metrics or empty CacheName
+	// leaves the resolver uninstrumented.
+	Metrics *metrics.Registry
+	// CacheName labels this resolver's series (e.g. "meta").
+	CacheName string
 }
 
 // NewResolver creates a caching resolver over backend.
 func NewResolver(backend Lookuper, model *simtime.Model, cfg ResolverConfig) *Resolver {
-	return &Resolver{
+	r := &Resolver{
 		backend: backend,
 		model:   model,
 		mode:    cfg.Mode,
 		style:   cfg.Style,
 		cache:   cache.New[[]RR](cfg.Clock, cfg.MaxEntries),
 	}
+	if cfg.CacheName != "" && cfg.Metrics.Enabled() {
+		r.cache.Instrument(cfg.Metrics, cfg.CacheName)
+		r.demarshals = cfg.Metrics.Counter(
+			metrics.Labels("cache_demarshal_total", "cache", cfg.CacheName))
+	}
+	return r
 }
 
 func cacheKey(name string, t RRType) string {
@@ -294,6 +358,7 @@ func (r *Resolver) Lookup(ctx context.Context, name string, t RRType) ([]RR, err
 		r.chargeHit(ctx, len(rrs))
 		return append([]RR(nil), rrs...), nil
 	}
+	metrics.CallCounterFrom(ctx).AddMiss()
 	rrs, err := r.backend.Lookup(ctx, cname, t)
 	if err != nil {
 		return nil, err
@@ -308,6 +373,7 @@ func (r *Resolver) chargeHit(ctx context.Context, n int) {
 		// Every access pays a full demarshal of the stored answer.
 		marshal.ChargeRecords(ctx, r.model, r.style, n)
 		simtime.Charge(ctx, r.model.CacheHit(0)) // plus the probe itself
+		r.demarshals.Inc()
 	default:
 		simtime.Charge(ctx, r.model.CacheHit(n))
 	}

@@ -9,6 +9,7 @@ import (
 
 	"hns/internal/hrpc"
 	"hns/internal/marshal"
+	"hns/internal/metrics"
 	"hns/internal/simtime"
 	"hns/internal/transport"
 )
@@ -20,14 +21,16 @@ import (
 type Server struct {
 	host  string
 	model *simtime.Model
+	reg   *metrics.Registry
 
 	mu    sync.RWMutex
 	zones []*Zone // sorted longest-origin-first for suffix matching
 }
 
-// NewServer creates a zoneless server on host.
+// NewServer creates a zoneless server on host. It records its query,
+// update, and transfer counters into the process-wide metrics registry.
 func NewServer(host string, model *simtime.Model) *Server {
-	return &Server{host: host, model: model}
+	return &Server{host: host, model: model, reg: metrics.Default()}
 }
 
 // Host reports the server's host name.
@@ -80,6 +83,13 @@ func (s *Server) findZone(name string) *Zone {
 
 // Query answers one lookup, charging the server-side lookup cost.
 func (s *Server) Query(ctx context.Context, name string, t RRType) (RCode, []RR) {
+	rcode, rrs := s.query(ctx, name, t)
+	s.reg.Counter(metrics.Labels("bind_queries_total",
+		"type", t.String(), "rcode", rcode.String())).Inc()
+	return rcode, rrs
+}
+
+func (s *Server) query(ctx context.Context, name string, t RRType) (RCode, []RR) {
 	simtime.Charge(ctx, s.model.BindServerLookup)
 	name, err := CanonicalName(name)
 	if err != nil {
@@ -107,7 +117,10 @@ const (
 
 // Update applies a dynamic update to the named zone, charging the
 // server-side update cost. Only zones created with allowUpdate accept it.
-func (s *Server) Update(ctx context.Context, zoneOrigin string, op uint32, rr RR) (RCode, uint32, error) {
+func (s *Server) Update(ctx context.Context, zoneOrigin string, op uint32, rr RR) (rcode RCode, serial uint32, err error) {
+	defer func() {
+		s.reg.Counter(metrics.Labels("bind_updates_total", "rcode", rcode.String())).Inc()
+	}()
 	simtime.Charge(ctx, s.model.BindServerUpdate)
 	z := s.Zone(zoneOrigin)
 	if z == nil {
@@ -116,7 +129,6 @@ func (s *Server) Update(ctx context.Context, zoneOrigin string, op uint32, rr RR
 	if !z.AllowsUpdate() {
 		return RCodeRefused, z.Serial(), ErrUpdateDenied
 	}
-	var err error
 	switch op {
 	case UpdateAdd:
 		err = z.Add(rr)
@@ -140,6 +152,8 @@ func (s *Server) Transfer(ctx context.Context, zoneOrigin string) (RCode, uint32
 	}
 	rrs := z.All()
 	simtime.Charge(ctx, s.model.ZoneXfer(len(rrs)))
+	s.reg.Counter("bind_transfers_total").Inc()
+	s.reg.Counter("bind_transfer_records_total").Add(int64(len(rrs)))
 	return RCodeOK, z.Serial(), rrs
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"hns/internal/metrics"
 	"hns/internal/simtime"
 )
 
@@ -215,4 +216,25 @@ func (c *TTL[V]) ResetStats() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats = Stats{}
+}
+
+// Instrument exposes the cache's counters as gauge series on r, labeled
+// cache=<name>: cache_hits_total, cache_misses_total, cache_expired_total,
+// cache_evicted_total, cache_preloads_total, and cache_entries. The series
+// read the existing Stats at snapshot time, so instrumenting adds no work
+// to the access path.
+func (c *TTL[V]) Instrument(r *metrics.Registry, name string) {
+	series := func(metric string, read func(Stats) int64) {
+		r.GaugeFunc(metrics.Labels(metric, "cache", name), func() int64 {
+			return read(c.Stats())
+		})
+	}
+	series("cache_hits_total", func(s Stats) int64 { return s.Hits })
+	series("cache_misses_total", func(s Stats) int64 { return s.Misses })
+	series("cache_expired_total", func(s Stats) int64 { return s.Expired })
+	series("cache_evicted_total", func(s Stats) int64 { return s.Evicted })
+	series("cache_preloads_total", func(s Stats) int64 { return s.Preloads })
+	r.GaugeFunc(metrics.Labels("cache_entries", "cache", name), func() int64 {
+		return int64(c.Len())
+	})
 }

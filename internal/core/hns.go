@@ -34,10 +34,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hns/internal/bind"
 	"hns/internal/hrpc"
 	"hns/internal/marshal"
+	"hns/internal/metrics"
 	"hns/internal/names"
 	"hns/internal/qclass"
 	"hns/internal/simtime"
@@ -85,6 +87,11 @@ type Config struct {
 	// for name services with no linked resolver. Without it, such
 	// lookups fail — the prototype always linked its HostAddress NSMs.
 	RPC *hrpc.Client
+	// Metrics receives this instance's counters and per-mapping-step
+	// latency histograms (core_findnsm_* and the meta-cache's cache_*
+	// series). Nil means the process-wide metrics.Default();
+	// metrics.Discard disables instrumentation entirely.
+	Metrics *metrics.Registry
 }
 
 // HNS is a local instance of the name service library.
@@ -99,6 +106,18 @@ type HNS struct {
 	hostResolvers map[string]HostResolver
 
 	findCalls atomic.Int64
+	instr     bool
+	obs       hnsObs
+}
+
+// hnsObs holds the pre-created instrument handles FindNSM records into.
+// Handles are resolved once in New so the warm path never touches the
+// registry's name table.
+type hnsObs struct {
+	warm, cold     *metrics.Counter   // core_findnsm_total{state=...}
+	errors         *metrics.Counter   // core_findnsm_errors_total
+	warmMS, coldMS *metrics.Histogram // core_findnsm_ms{state=...}
+	steps          [6]*metrics.Histogram
 }
 
 // New creates an HNS over the given meta-BIND client.
@@ -106,6 +125,10 @@ func New(meta *bind.HRPCClient, model *simtime.Model, cfg Config) *HNS {
 	zone := cfg.MetaZone
 	if zone == "" {
 		zone = "hns"
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
 	}
 	h := &HNS{
 		model:    model,
@@ -119,8 +142,22 @@ func New(meta *bind.HRPCClient, model *simtime.Model, cfg Config) *HNS {
 			Style:      marshal.StyleGenerated,
 			Clock:      cfg.Clock,
 			MaxEntries: cfg.MaxCacheEntries,
+			Metrics:    reg,
+			CacheName:  "meta",
 		}),
 		hostResolvers: make(map[string]HostResolver),
+		instr:         reg.Enabled(),
+	}
+	h.obs = hnsObs{
+		warm:   reg.Counter(metrics.Labels("core_findnsm_total", "state", "warm")),
+		cold:   reg.Counter(metrics.Labels("core_findnsm_total", "state", "cold")),
+		errors: reg.Counter("core_findnsm_errors_total"),
+		warmMS: reg.Histogram(metrics.Labels("core_findnsm_ms", "state", "warm")),
+		coldMS: reg.Histogram(metrics.Labels("core_findnsm_ms", "state", "cold")),
+	}
+	for i := range h.obs.steps {
+		h.obs.steps[i] = reg.Histogram(metrics.Labels("core_findnsm_step_ms",
+			"step", fmt.Sprintf("mapping%d", i+1)))
 	}
 	return h
 }
@@ -178,18 +215,76 @@ func findValue(rrs []bind.RR, key string) (string, bool) {
 	return "", false
 }
 
+// stepObs tracks per-step simulated duration and cache state for one
+// FindNSM call, feeding both the per-step histograms and the structured
+// trace events. A nil *stepObs (uninstrumented, untraced call) makes
+// every lap free.
+type stepObs struct {
+	meter *simtime.Meter
+	fn    EventFunc
+	cc    metrics.CallCounter
+	prevD time.Duration
+	prevM int64
+}
+
+// lap reports the simulated time and cache state since the previous lap.
+func (s *stepObs) lap() (time.Duration, string) {
+	if s == nil {
+		return 0, CacheWarm
+	}
+	var d time.Duration
+	if s.meter != nil {
+		now := s.meter.Elapsed()
+		d = now - s.prevD
+		s.prevD = now
+	}
+	state := CacheWarm
+	if m := s.cc.Misses(); m > s.prevM {
+		state = CacheCold
+		s.prevM = m
+	}
+	return d, state
+}
+
 // FindNSM implements Finder. It is the paper's primary HNS call.
 func (h *HNS) FindNSM(ctx context.Context, name names.Name, queryClass string) (hrpc.Binding, error) {
 	h.findCalls.Add(1)
 	simtime.Charge(ctx, h.model.FindNSMAssembly)
 	if err := name.Validate(); err != nil {
+		h.obs.errors.Inc()
 		return hrpc.Binding{}, err
 	}
 	queryClass = strings.ToLower(queryClass)
-	return h.findNSM(ctx, name.Context, queryClass, 0)
+
+	var so *stepObs
+	var start time.Duration
+	if tr := tracer(ctx); h.instr || tr != nil {
+		so = &stepObs{meter: simtime.From(ctx), fn: tr}
+		ctx = metrics.InstallCallCounter(ctx, &so.cc)
+		so.prevD = so.meter.Elapsed()
+		start = so.prevD
+	}
+	b, err := h.findNSM(ctx, name.Context, queryClass, 0, so)
+	if err != nil {
+		h.obs.errors.Inc()
+		return b, err
+	}
+	if h.instr {
+		// The final "resolved" lap left prevD at the call's end time,
+		// so the total needs no further meter read.
+		total := so.prevD - start
+		if so.cc.Misses() == 0 {
+			h.obs.warm.Inc()
+			h.obs.warmMS.Observe(total)
+		} else {
+			h.obs.cold.Inc()
+			h.obs.coldMS.Observe(total)
+		}
+	}
+	return b, nil
 }
 
-func (h *HNS) findNSM(ctx context.Context, context, queryClass string, depth int) (hrpc.Binding, error) {
+func (h *HNS) findNSM(ctx context.Context, context, queryClass string, depth int, so *stepObs) (hrpc.Binding, error) {
 	if depth > 2 {
 		return hrpc.Binding{}, ErrDepthExceeded
 	}
@@ -198,26 +293,33 @@ func (h *HNS) findNSM(ctx context.Context, context, queryClass string, depth int
 	if err != nil {
 		return hrpc.Binding{}, err
 	}
-	tracef(ctx, "mapping 1: context %q -> name service %q", context, ns)
+	d, state := so.lap()
+	h.obs.steps[0].Observe(d)
+	so.emit("mapping 1", d, state, "context %q -> name service %q", context, ns)
 	// Mapping 2: (Name Service Name, Query Class) → NSM Name.
 	nsm, err := h.lookupNSMName(ctx, ns, queryClass)
 	if err != nil {
 		return hrpc.Binding{}, err
 	}
-	tracef(ctx, "mapping 2: (%q, %q) -> NSM %q", ns, queryClass, nsm)
+	d, state = so.lap()
+	h.obs.steps[1].Observe(d)
+	so.emit("mapping 2", d, state, "(%q, %q) -> NSM %q", ns, queryClass, nsm)
 	// Mapping 3: NSM Name → NSM record (host, port, program, suite).
 	rec, err := h.lookupNSMRecord(ctx, nsm)
 	if err != nil {
 		return hrpc.Binding{}, err
 	}
-	tracef(ctx, "mapping 3: NSM %q -> host %s port %s suite %s,%s,%s",
+	d, state = so.lap()
+	h.obs.steps[2].Observe(d)
+	so.emit("mapping 3", d, state, "NSM %q -> host %s port %s suite %s,%s,%s",
 		nsm, rec.Host, rec.Port, rec.Suite.Transport, rec.Suite.DataRep, rec.Suite.Control)
 	// Mappings 4-6: translate the NSM's host name to an address.
-	hostAddr, err := h.resolveHost(ctx, rec.HostContext, rec.Host, depth)
+	hostAddr, err := h.resolveHost(ctx, rec.HostContext, rec.Host, depth, so)
 	if err != nil {
 		return hrpc.Binding{}, fmt.Errorf("hns: resolving NSM host %s: %w", rec.Host, err)
 	}
-	tracef(ctx, "resolved: NSM host %q -> address %q", rec.Host, hostAddr)
+	d, state = so.lap()
+	so.emit("resolved", d, state, "NSM host %q -> address %q", rec.Host, hostAddr)
 	prog, err := qclass.Program(queryClass)
 	if err != nil {
 		return hrpc.Binding{}, err
@@ -314,13 +416,15 @@ func (h *HNS) lookupNSMRecord(ctx context.Context, nsm string) (nsmRecord, error
 
 // resolveHost performs mappings 4-6: an HNS HostAddress operation for the
 // NSM's own host, short-circuited through linked resolvers.
-func (h *HNS) resolveHost(ctx context.Context, hostContext, host string, depth int) (string, error) {
+func (h *HNS) resolveHost(ctx context.Context, hostContext, host string, depth int, so *stepObs) (string, error) {
 	// Mapping 4: the host's context → its name service.
 	hostNS, err := h.lookupContext(ctx, hostContext)
 	if err != nil {
 		return "", err
 	}
-	tracef(ctx, "mapping 4: host context %q -> name service %q", hostContext, hostNS)
+	d, state := so.lap()
+	h.obs.steps[3].Observe(d)
+	so.emit("mapping 4", d, state, "host context %q -> name service %q", hostContext, hostNS)
 	// Mapping 5: (host NS, HostAddress) → NSM name. Performed even when a
 	// linked instance will serve the query — the HNS must confirm the
 	// query class is supported before dispatching.
@@ -328,22 +432,32 @@ func (h *HNS) resolveHost(ctx context.Context, hostContext, host string, depth i
 	if err != nil {
 		return "", err
 	}
-	tracef(ctx, "mapping 5: (%q, %q) -> NSM %q", hostNS, qclass.HostAddress, hostNSM)
+	d, state = so.lap()
+	h.obs.steps[4].Observe(d)
+	so.emit("mapping 5", d, state, "(%q, %q) -> NSM %q", hostNS, qclass.HostAddress, hostNSM)
 	// Mapping 6: the HostAddress NSM interrogates its name service.
 	if r := h.linkedResolver(hostNS); r != nil {
-		tracef(ctx, "mapping 6: linked HostAddress NSM for %q resolves %q", hostNS, host)
-		return r.ResolveHost(ctx, host)
+		addr, err := r.ResolveHost(ctx, host)
+		d, state = so.lap()
+		h.obs.steps[5].Observe(d)
+		if err != nil {
+			return "", err
+		}
+		so.emit("mapping 6", d, state, "linked HostAddress NSM for %q resolves %q", hostNS, host)
+		return addr, nil
 	}
 	// No linked instance: fall back to calling the remote HostAddress
 	// NSM, which requires finding *it* first (bounded recursion).
 	if h.rpc == nil {
 		return "", fmt.Errorf("hns: no linked HostAddress NSM for name service %q", hostNS)
 	}
-	b, err := h.findNSM(ctx, hostContext, qclass.HostAddress, depth+1)
+	b, err := h.findNSM(ctx, hostContext, qclass.HostAddress, depth+1, so)
 	if err != nil {
 		return "", err
 	}
 	ret, err := h.rpc.Call(ctx, b, qclass.ProcResolveHost, resolveHostArgs(hostContext, host))
+	d, _ = so.lap()
+	h.obs.steps[5].Observe(d)
 	if err != nil {
 		return "", err
 	}

@@ -3,26 +3,83 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
-// FindNSM step tracing. A TraceFunc installed in the context receives one
-// line per data mapping as FindNSM executes, making the paper's six-
-// mapping structure observable — hnsbench's Figure 2.1 trace and hnsctl's
-// verbose mode use it. Tracing costs nothing when absent.
+// FindNSM step tracing. A tracer installed in the context receives one
+// span-style Event per data mapping as FindNSM executes, making the
+// paper's six-mapping structure observable — hnsbench's Figure 2.1 trace
+// and hnsctl's verbose mode use it. Tracing costs nothing when absent.
+//
+// The original interface was a bare string callback (TraceFunc); it is
+// kept as a compat shim over the structured form and still receives
+// exactly one line per mapping step, in the original wording.
 
-// TraceFunc receives one trace line per FindNSM step.
+// Cache states an Event can report for its step.
+const (
+	CacheWarm = "warm" // the step was served entirely from cache
+	CacheCold = "cold" // the step went to a backend at least once
+)
+
+// Event is one FindNSM mapping step.
+type Event struct {
+	// Step is the step identifier: "mapping 1" … "mapping 6", or
+	// "resolved" for the final address line.
+	Step string
+	// Detail is the human-readable description of what the step mapped.
+	Detail string
+	// Duration is the simulated time the step consumed (zero when the
+	// context carries no simtime meter).
+	Duration time.Duration
+	// Cache is CacheWarm or CacheCold, by whether the step caused any
+	// backend fetches.
+	Cache string
+}
+
+// String renders the event as the classic one-line trace form.
+func (e Event) String() string { return e.Step + ": " + e.Detail }
+
+// EventFunc receives one Event per FindNSM step.
+type EventFunc func(Event)
+
+// TraceFunc receives one trace line per FindNSM step (the pre-structured
+// interface, kept for hnsbench and hnsctl -v).
 type TraceFunc func(step string)
 
 type traceKey struct{}
 
-// WithTrace installs fn as the FindNSM step tracer in ctx.
-func WithTrace(ctx context.Context, fn TraceFunc) context.Context {
+// WithTracer installs fn as the structured FindNSM step tracer in ctx.
+func WithTracer(ctx context.Context, fn EventFunc) context.Context {
 	return context.WithValue(ctx, traceKey{}, fn)
 }
 
-// tracef emits a step line if a tracer is installed.
-func tracef(ctx context.Context, format string, args ...any) {
-	if fn, ok := ctx.Value(traceKey{}).(TraceFunc); ok && fn != nil {
-		fn(fmt.Sprintf(format, args...))
+// WithTrace installs fn as a FindNSM step tracer in ctx. It is the compat
+// shim over WithTracer: fn receives each Event flattened to its classic
+// one-line form.
+func WithTrace(ctx context.Context, fn TraceFunc) context.Context {
+	if fn == nil {
+		return WithTracer(ctx, nil)
 	}
+	return WithTracer(ctx, func(e Event) { fn(e.String()) })
+}
+
+// tracer returns the installed EventFunc, or nil.
+func tracer(ctx context.Context) EventFunc {
+	fn, _ := ctx.Value(traceKey{}).(EventFunc)
+	return fn
+}
+
+// emit delivers a step event if the call carries a tracer. The tracer is
+// looked up once per FindNSM call (see stepObs), not per step, and the
+// detail line is only formatted when someone is listening.
+func (s *stepObs) emit(step string, d time.Duration, cache string, format string, args ...any) {
+	if s == nil || s.fn == nil {
+		return
+	}
+	s.fn(Event{
+		Step:     step,
+		Detail:   fmt.Sprintf(format, args...),
+		Duration: d,
+		Cache:    cache,
+	})
 }

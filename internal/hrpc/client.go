@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"hns/internal/marshal"
+	"hns/internal/metrics"
 	"hns/internal/simtime"
 	"hns/internal/transport"
 )
@@ -34,8 +35,21 @@ type Client struct {
 	// saying no — are never retried. Set before first use.
 	Retries int
 
+	// Metrics receives the client's hrpc_client_* series. Nil means the
+	// process-wide metrics.Default(); metrics.Discard disables them.
+	// Set before first use.
+	Metrics *metrics.Registry
+
 	mu    sync.Mutex
 	conns map[string]transport.Conn
+}
+
+// registry resolves the effective metrics registry.
+func (c *Client) registry() *metrics.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return metrics.Default()
 }
 
 // NewClient creates a client on the given network.
@@ -66,7 +80,21 @@ type xidMatcher interface {
 // Call invokes procedure p on the server identified by b, marshalling args
 // and unmarshalling the result according to the binding's components. All
 // simulated costs on the call path are charged to the meter in ctx.
-func (c *Client) Call(ctx context.Context, b Binding, p Procedure, args marshal.Value) (marshal.Value, error) {
+func (c *Client) Call(ctx context.Context, b Binding, p Procedure, args marshal.Value) (_ marshal.Value, err error) {
+	reg := c.registry()
+	if reg.Enabled() {
+		reg.Counter(metrics.Labels("hrpc_client_calls_total", "proc", p.Name)).Inc()
+		meter := simtime.From(ctx)
+		before := meter.Elapsed()
+		defer func() {
+			reg.Histogram(metrics.Labels("hrpc_client_call_ms", "addr", b.Addr)).
+				Observe(meter.Elapsed() - before)
+			if err != nil {
+				reg.Counter(metrics.Labels("hrpc_client_errors_total",
+					"kind", errKind(err))).Inc()
+			}
+		}()
+	}
 	if err := b.Validate(); err != nil {
 		return marshal.Value{}, err
 	}
@@ -128,14 +156,29 @@ func (c *Client) Call(ctx context.Context, b Binding, p Procedure, args marshal.
 	return ret, nil
 }
 
+// errKind buckets a call error for hrpc_client_errors_total.
+func errKind(err error) string {
+	var rf *RemoteFault
+	if errors.As(err, &rf) {
+		return "remote_fault"
+	}
+	var re *transport.RemoteError
+	if errors.As(err, &re) {
+		return "remote_error"
+	}
+	return "transport"
+}
+
 // roundTrip sends one frame, retransmitting after transport-level losses
 // up to c.Retries times (each retry first charges the retransmission
 // timeout the caller would have sat through).
 func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr string, frame []byte) ([]byte, error) {
+	reg := c.registry()
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
 			simtime.Charge(ctx, c.net.Model().RetransmitTimeout)
+			reg.Counter("hrpc_client_retries_total").Inc()
 		}
 		resp, err := c.sendOnce(ctx, tr, addr, frame)
 		if err == nil {
@@ -149,6 +192,8 @@ func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr str
 		}
 		lastErr = err
 	}
+	// Every retransmission was lost too: the call timed out for good.
+	reg.Counter("hrpc_client_timeouts_total").Inc()
 	return nil, lastErr
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hns/internal/marshal"
+	"hns/internal/metrics"
 	"hns/internal/simtime"
 	"hns/internal/transport"
 )
@@ -22,8 +23,21 @@ type Server struct {
 	program uint32
 	version uint32
 
+	// Metrics receives the server's hrpc_server_* series. Nil means the
+	// process-wide metrics.Default(); metrics.Discard disables them.
+	// Set before serving.
+	Metrics *metrics.Registry
+
 	mu    sync.RWMutex
 	procs map[uint32]serverProc
+}
+
+// registry resolves the effective metrics registry.
+func (s *Server) registry() *metrics.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return metrics.Default()
 }
 
 type serverProc struct {
@@ -86,13 +100,19 @@ func (s *Server) Register(p Procedure, h ProcHandler) {
 // Handler adapts the server to a transport.Handler speaking the given data
 // representation and control protocol.
 func (s *Server) Handler(rep marshal.DataRep, ctl ControlProtocol, model *simtime.Model) transport.Handler {
+	reg := s.registry()
+	faults := reg.Counter(metrics.Labels("hrpc_server_faults_total", "server", s.name))
 	return func(ctx context.Context, reqFrame []byte) ([]byte, error) {
 		ch, argBytes, err := ctl.DecodeCall(reqFrame)
 		if err != nil {
 			// Unparseable frame: we cannot even form a matching reply.
+			faults.Inc()
 			return nil, err
 		}
 		reply := func(errMsg string, results []byte) ([]byte, error) {
+			if errMsg != "" {
+				faults.Inc()
+			}
 			return ctl.EncodeReply(ReplyHeader{XID: ch.XID, Err: errMsg}, results)
 		}
 		if ch.Program != s.program {
@@ -107,6 +127,8 @@ func (s *Server) Handler(rep marshal.DataRep, ctl ControlProtocol, model *simtim
 		if !ok {
 			return reply(fmt.Sprintf("procedure %d unavailable on program %d", ch.Procedure, s.program), nil)
 		}
+		reg.Counter(metrics.Labels("hrpc_server_calls_total",
+			"server", s.name, "proc", sp.p.Name)).Inc()
 
 		args, err := marshal.Unmarshal(rep, argBytes, sp.p.Args)
 		if err != nil {

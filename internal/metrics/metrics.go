@@ -1,0 +1,291 @@
+// Package metrics is the HNS observability substrate: a small,
+// dependency-free instrumentation library (atomic counters, gauges, and
+// fixed-bucket latency histograms) with a snapshot API and an opt-in HTTP
+// endpoint (see http.go).
+//
+// The paper's whole evaluation is an exercise in measuring where a
+// FindNSM's six mappings spend their time; this package makes the same
+// quantities visible in a long-running deployment. Every layer a request
+// crosses (bind, cache, hrpc, transport, core) records into a Registry,
+// and cmd/hnsctl's `stats` subcommand renders the result.
+//
+// Instruments are nil-safe: methods on a nil *Counter, *Gauge, or
+// *Histogram are no-ops, and a nop Registry (Discard, or a nil *Registry)
+// hands out nil instruments. Components therefore instrument
+// unconditionally and pay only a nil-check when observability is off —
+// the property the BenchmarkInstrumentationOverhead guard in
+// bench_test.go enforces on the warm FindNSM path.
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultBuckets are the histogram upper bounds, in milliseconds. They
+// cover the scales this system actually produces: sub-millisecond cache
+// probes (Table 3.2's 0.83 ms hit), tens-of-milliseconds lookups (BIND's
+// 27 ms), and the ~460 ms cache-cold FindNSM.
+var DefaultBuckets = []float64{
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are
+// durations; bucket bounds are milliseconds.
+type Histogram struct {
+	boundsNS []int64 // bucket upper bounds in nanoseconds, ascending
+	boundsMS []float64
+	buckets  []atomic.Int64 // len(boundsNS)+1; last = overflow
+	count    atomic.Int64
+	sumNS    atomic.Int64
+}
+
+func newHistogram(boundsMS []float64) *Histogram {
+	h := &Histogram{
+		boundsMS: boundsMS,
+		boundsNS: make([]int64, len(boundsMS)),
+		buckets:  make([]atomic.Int64, len(boundsMS)+1),
+	}
+	for i, b := range boundsMS {
+		h.boundsNS[i] = int64(b * float64(time.Millisecond))
+	}
+	return h
+}
+
+// Observe records one duration. No-op on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for ; i < len(h.boundsNS); i++ {
+		if ns <= h.boundsNS[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// Registry holds a process's (or component's) instruments by name.
+// Requesting the same name twice returns the same instrument, so
+// concurrent components share series naturally. A nil *Registry and the
+// Discard registry hand out nil (no-op) instruments.
+type Registry struct {
+	nop bool
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Discard is a registry whose instruments are all no-ops. Components take
+// it (or nil) to run uninstrumented — the baseline the instrumentation-
+// overhead benchmark compares against.
+var Discard = &Registry{nop: true}
+
+var std = NewRegistry()
+
+// Default returns the process-wide registry the daemons expose over HTTP.
+// Library components fall back to it when not given an explicit registry.
+func Default() *Registry { return std }
+
+func (r *Registry) disabled() bool { return r == nil || r.nop }
+
+// Enabled reports whether the registry actually records (false for nil
+// and Discard). Hot paths use it to skip work that exists only to feed
+// instruments, like reading the simtime meter per mapping step.
+func (r *Registry) Enabled() bool { return !r.disabled() }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r.disabled() {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r.disabled() {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers f as the named gauge's value source, read at
+// snapshot time. It bridges components that already maintain their own
+// counters (the TTL cache's Stats) without adding hot-path work.
+// Re-registering a name replaces the previous function (last wins).
+func (r *Registry) GaugeFunc(name string, f func() int64) {
+	if r.disabled() || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = f
+}
+
+// Histogram returns the named histogram with DefaultBuckets, creating it
+// on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r.disabled() {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(DefaultBuckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Labels renders a series name with key="value" labels in a fixed,
+// Prometheus-style form: Labels("x_total", "rcode", "OK") is
+// `x_total{rcode="OK"}`. Keys are emitted in argument order.
+func Labels(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 16*len(kv))
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(kv[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// Series is one named scalar in a snapshot.
+type Series struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Bucket is one histogram bucket: observations ≤ LE milliseconds that did
+// not fit an earlier bucket (per-bucket counts, not cumulative).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"n"`
+}
+
+// HistogramSeries is one histogram in a snapshot.
+type HistogramSeries struct {
+	Name     string   `json:"name"`
+	Count    int64    `json:"count"`
+	SumMS    float64  `json:"sum_ms"`
+	Buckets  []Bucket `json:"buckets,omitempty"` // zero-count buckets omitted
+	Overflow int64    `json:"overflow,omitempty"`
+}
+
+// Mean reports the mean observation in milliseconds (0 with no data).
+func (h HistogramSeries) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumMS / float64(h.Count)
+}
+
+// Quantile approximates the q-th quantile (0 < q ≤ 1) in milliseconds
+// from the bucket counts, attributing each bucket's mass to its upper
+// bound. Overflow observations report the last finite bound.
+func (h HistogramSeries) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 && h.Overflow == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	var last float64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		last = b.LE
+		if seen >= rank {
+			return b.LE
+		}
+	}
+	if len(DefaultBuckets) > 0 && last == 0 {
+		last = DefaultBuckets[len(DefaultBuckets)-1]
+	}
+	return last
+}
+
+// Snapshot is a point-in-time copy of every series in a registry. It is
+// what /debug/hns serves as JSON and what `hnsctl stats` renders.
+type Snapshot struct {
+	Counters   []Series          `json:"counters"`
+	Gauges     []Series          `json:"gauges"`
+	Histograms []HistogramSeries `json:"histograms"`
+}
+
+// Snapshot captures every instrument. Gauge functions are evaluated at
+// snapshot time. Series are sorted by name.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r.disabled() {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range sortedKeys(r.counters) {
+		s.Counters = append(s.Counters, Series{Name: name, Value: r.counters[name].Value()})
+	}
+	gauges := make(map[string]int64, len(r.gauges)+len(r.funcs))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	for name, f := range r.funcs {
+		gauges[name] = f()
+	}
+	for _, name := range sortedKeys(gauges) {
+		s.Gauges = append(s.Gauges, Series{Name: name, Value: gauges[name]})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		hs := HistogramSeries{
+			Name:  name,
+			Count: h.count.Load(),
+			SumMS: float64(h.sumNS.Load()) / 1e6,
+		}
+		for i := range h.boundsMS {
+			if n := h.buckets[i].Load(); n > 0 {
+				hs.Buckets = append(hs.Buckets, Bucket{LE: h.boundsMS[i], Count: n})
+			}
+		}
+		hs.Overflow = h.buckets[len(h.boundsMS)].Load()
+		s.Histograms = append(s.Histograms, hs)
+	}
+	return s
+}
+
+// WriteText renders the snapshot in an expvar-style plain-text form, one
+// series per line — what the /metrics endpoint serves.
+func (s Snapshot) WriteText(w io.Writer) {
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "%s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "%s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(w, "%s_count %d\n", h.Name, h.Count)
+		fmt.Fprintf(w, "%s_sum_ms %.3f\n", h.Name, h.SumMS)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, fmt.Sprintf("%g", b.LE), cum)
+		}
+		if h.Overflow > 0 {
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, cum+h.Overflow)
+		}
+	}
+}

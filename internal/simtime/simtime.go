@@ -27,22 +27,24 @@ package simtime
 
 import (
 	"context"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Meter accumulates simulated cost. It is safe for concurrent use.
+// Meter accumulates simulated cost. It is safe for concurrent use; the
+// counters are atomics, so charging and reading are lock-free — the
+// observability layer reads Elapsed several times per FindNSM, and those
+// reads must not serialize concurrent callers.
 //
 // The zero value is a valid, usable meter.
 type Meter struct {
-	mu      sync.Mutex
-	elapsed time.Duration
-	events  int
+	elapsed atomic.Int64 // nanoseconds
+	events  atomic.Int64
 
 	// SleepScale, when positive, makes every Charge also sleep for the
 	// charged duration multiplied by SleepScale. This turns the simulation
 	// into a (scaled) real-time one, which is useful for live demos of the
-	// daemons; tests and benchmarks leave it zero.
+	// daemons; tests and benchmarks leave it zero. Set before first use.
 	SleepScale float64
 }
 
@@ -55,13 +57,10 @@ func (m *Meter) Charge(d time.Duration) {
 	if m == nil || d <= 0 {
 		return
 	}
-	m.mu.Lock()
-	m.elapsed += d
-	m.events++
-	scale := m.SleepScale
-	m.mu.Unlock()
-	if scale > 0 {
-		time.Sleep(time.Duration(float64(d) * scale))
+	m.elapsed.Add(int64(d))
+	m.events.Add(1)
+	if m.SleepScale > 0 {
+		time.Sleep(time.Duration(float64(d) * m.SleepScale))
 	}
 }
 
@@ -70,9 +69,7 @@ func (m *Meter) Elapsed() time.Duration {
 	if m == nil {
 		return 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.elapsed
+	return time.Duration(m.elapsed.Load())
 }
 
 // Events reports how many individual charges have been recorded.
@@ -80,9 +77,7 @@ func (m *Meter) Events() int {
 	if m == nil {
 		return 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.events
+	return int(m.events.Load())
 }
 
 // Reset zeroes the meter and returns the cost accumulated before the reset.
@@ -90,12 +85,8 @@ func (m *Meter) Reset() time.Duration {
 	if m == nil {
 		return 0
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	d := m.elapsed
-	m.elapsed = 0
-	m.events = 0
-	return d
+	m.events.Store(0)
+	return time.Duration(m.elapsed.Swap(0))
 }
 
 type meterKey struct{}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"hns/internal/metrics"
 )
 
 // Failure injection: a wrapper transport that makes selected calls fail as
@@ -34,9 +36,10 @@ func DropFirst(k int) FailFunc {
 // Faulty wraps an inner transport, injecting losses per the FailFunc.
 // Listen passes through untouched (the server is fine; the network isn't).
 type Faulty struct {
-	inner Transport
-	name  string
-	fail  FailFunc
+	inner    Transport
+	name     string
+	fail     FailFunc
+	injected *metrics.Counter // transport_injected_faults_total{transport}
 
 	mu    sync.Mutex
 	calls int
@@ -44,7 +47,11 @@ type Faulty struct {
 
 // NewFaulty wraps inner under the given registry name.
 func NewFaulty(inner Transport, name string, fail FailFunc) *Faulty {
-	return &Faulty{inner: inner, name: name, fail: fail}
+	return &Faulty{
+		inner: inner, name: name, fail: fail,
+		injected: metrics.Default().Counter(
+			metrics.Labels("transport_injected_faults_total", "transport", name)),
+	}
 }
 
 // Name implements Transport.
@@ -83,6 +90,7 @@ func (c *faultyConn) Call(ctx context.Context, req []byte) ([]byte, error) {
 	n := c.f.calls
 	c.f.mu.Unlock()
 	if c.f.fail(n) {
+		c.f.injected.Inc()
 		return nil, fmt.Errorf("%w (call %d)", ErrInjectedLoss, n)
 	}
 	return c.inner.Call(ctx, req)

@@ -1,0 +1,37 @@
+package transport
+
+import "hns/internal/metrics"
+
+// wireObs holds one transport's frame and byte counters, created once when
+// the transport is constructed so the per-call cost is a few atomic adds.
+// Series: transport_frames_total{transport,dir} and
+// transport_bytes_total{transport,dir}, dir ∈ {tx, rx}.
+type wireObs struct {
+	txFrames, rxFrames *metrics.Counter
+	txBytes, rxBytes   *metrics.Counter
+}
+
+func newWireObs(transportName string) wireObs {
+	r := metrics.Default()
+	c := func(metric, dir string) *metrics.Counter {
+		return r.Counter(metrics.Labels(metric, "transport", transportName, "dir", dir))
+	}
+	return wireObs{
+		txFrames: c("transport_frames_total", "tx"),
+		rxFrames: c("transport_frames_total", "rx"),
+		txBytes:  c("transport_bytes_total", "tx"),
+		rxBytes:  c("transport_bytes_total", "rx"),
+	}
+}
+
+// tx records one sent request frame.
+func (o wireObs) tx(n int) {
+	o.txFrames.Inc()
+	o.txBytes.Add(int64(n))
+}
+
+// rx records one received reply frame.
+func (o wireObs) rx(n int) {
+	o.rxFrames.Inc()
+	o.rxBytes.Add(int64(n))
+}

@@ -23,10 +23,11 @@ type simTransport struct {
 	net   *Network
 	name  string
 	costs func(*simtime.Model) (rttNanos, setupNanos int64)
+	obs   wireObs
 }
 
 func newSimTransport(n *Network, name string, costs func(*simtime.Model) (int64, int64)) *simTransport {
-	return &simTransport{net: n, name: name, costs: costs}
+	return &simTransport{net: n, name: name, costs: costs, obs: newWireObs(name)}
 }
 
 // Name implements Transport.
@@ -121,6 +122,7 @@ func (c *simConn) Call(ctx context.Context, req []byte) ([]byte, error) {
 
 	rtt, _ := c.t.costs(c.t.net.model)
 	simtime.Charge(ctx, time.Duration(rtt))
+	c.t.obs.tx(len(req))
 
 	serverMeter := simtime.NewMeter()
 	resp, err := c.ep.handler(simtime.WithMeter(context.Background(), serverMeter), req)
@@ -128,6 +130,7 @@ func (c *simConn) Call(ctx context.Context, req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, &RemoteError{Msg: err.Error()}
 	}
+	c.t.obs.rx(len(resp))
 	return resp, nil
 }
 

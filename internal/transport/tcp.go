@@ -17,6 +17,7 @@ import (
 // the kernel spends, which the simulation ignores).
 type tcpTransport struct {
 	model *simtime.Model
+	obs   wireObs
 }
 
 // Name implements Transport.
@@ -30,7 +31,7 @@ func (t *tcpTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 		return nil, err
 	}
 	simtime.Charge(ctx, t.model.TCPConnSetup)
-	return &tcpConn{model: t.model, c: c}, nil
+	return &tcpConn{model: t.model, obs: t.obs, c: c}, nil
 }
 
 // Listen implements Transport.
@@ -95,6 +96,7 @@ func (l *tcpListener) serveConn(c net.Conn) {
 
 type tcpConn struct {
 	model *simtime.Model
+	obs   wireObs
 
 	mu     sync.Mutex
 	c      net.Conn
@@ -120,10 +122,12 @@ func (c *tcpConn) Call(ctx context.Context, req []byte) ([]byte, error) {
 	if err := writeFrame(c.c, req); err != nil {
 		return nil, err
 	}
+	c.obs.tx(len(req))
 	body, err := readFrame(c.c)
 	if err != nil {
 		return nil, err
 	}
+	c.obs.rx(len(body))
 	simtime.Charge(ctx, c.model.RTTTCP)
 	cost, payload, err := decodeReply(body)
 	simtime.Charge(ctx, cost)

@@ -122,8 +122,8 @@ func NewNetwork(model *simtime.Model) *Network {
 		newSimTransport(n, "tcp-local", func(m *simtime.Model) (int64, int64) {
 			return int64(m.RTTTCPLocal), int64(m.TCPConnSetup)
 		}),
-		&tcpTransport{model: model},
-		&udpTransport{model: model},
+		&tcpTransport{model: model, obs: newWireObs("tcp-net")},
+		&udpTransport{model: model, obs: newWireObs("udp-net")},
 	} {
 		n.Register(t)
 	}

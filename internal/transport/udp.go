@@ -16,6 +16,7 @@ import (
 // care). Payloads are limited to what fits a datagram.
 type udpTransport struct {
 	model *simtime.Model
+	obs   wireObs
 }
 
 // Name implements Transport.
@@ -34,7 +35,7 @@ func (t *udpTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &udpConn{model: t.model, c: c}, nil
+	return &udpConn{model: t.model, obs: t.obs, c: c}, nil
 }
 
 // Listen implements Transport.
@@ -98,6 +99,7 @@ func (l *udpListener) serveLoop() {
 
 type udpConn struct {
 	model *simtime.Model
+	obs   wireObs
 
 	mu     sync.Mutex
 	c      *net.UDPConn
@@ -124,11 +126,13 @@ func (c *udpConn) Call(ctx context.Context, req []byte) ([]byte, error) {
 	if _, err := c.c.Write(req); err != nil {
 		return nil, err
 	}
+	c.obs.tx(len(req))
 	buf := make([]byte, maxDatagram)
 	n, err := c.c.Read(buf)
 	if err != nil {
 		return nil, err
 	}
+	c.obs.rx(n)
 	simtime.Charge(ctx, c.model.RTTUDP)
 	cost, payload, err := decodeReply(buf[:n])
 	simtime.Charge(ctx, cost)

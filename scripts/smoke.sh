@@ -8,6 +8,10 @@ workdir=$(mktemp -d)
 trap 'kill $(cat "$workdir/pids" 2>/dev/null) 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 cd "$(dirname "$0")/.."
+
+echo "--- race detector over the full test suite"
+go test -race ./...
+
 go build -o "$workdir" ./cmd/...
 
 cat > "$workdir/app.zone" <<'EOF'
@@ -26,7 +30,7 @@ echo $! >> pids
 ./nsmd -type hostaddr-bind -ns bind-cs -bind-std 127.0.0.1:5302 \
        -addr 127.0.0.1:5320 >nsm.log 2>&1 &
 echo $! >> pids
-./hnsd -addr 127.0.0.1:5310 -meta 127.0.0.1:5301 \
+./hnsd -addr 127.0.0.1:5310 -meta 127.0.0.1:5301 -metrics 127.0.0.1:5390 \
        -link-bind bind-cs=127.0.0.1:5302 >hns.log 2>&1 &
 echo $! >> pids
 sleep 1
@@ -44,6 +48,12 @@ echo "--- resolve through the HNS (FindNSM + remote HostAddress NSM)"
 out=$(./hnsctl resolve -hns 127.0.0.1:5310 hostaddr-bind fiji.cs.washington.edu)
 echo "$out"
 grep -q '127.0.0.1' <<<"$out" || { echo "SMOKE FAILED: unexpected resolve output"; exit 1; }
+
+echo "--- daemon metrics via hnsctl stats"
+out=$(./hnsctl stats -from 127.0.0.1:5390)
+echo "$out"
+grep -q 'core_findnsm_total{state="cold"}' <<<"$out" || { echo "SMOKE FAILED: stats lacks core_findnsm series"; exit 1; }
+grep -q 'cache_' <<<"$out" || { echo "SMOKE FAILED: stats lacks cache series"; exit 1; }
 
 echo "--- meta zone dump"
 ./hnsctl dump -meta 127.0.0.1:5301
