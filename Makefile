@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench fuzz smoke examples harness regen outputs
+.PHONY: all build vet test race bench bench-parallel fuzz smoke examples harness regen outputs
 
 all: build vet test
 
@@ -18,6 +18,11 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# The concurrent tier: parallel FindNSM/Table-3.1 arrangements, workload
+# throughput, and the cache/resolver contention micro-benchmarks.
+bench-parallel:
+	go test -bench 'Parallel|Throughput|ShardContention|CacheKey' -benchmem -run NONE ./...
 
 # Short exploratory fuzzing over every wire codec.
 fuzz:

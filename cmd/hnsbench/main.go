@@ -34,7 +34,7 @@ func main() {
 	var (
 		table  = flag.String("table", "", `table to regenerate ("3.1" or "3.2")`)
 		figure = flag.String("figure", "", `figure to regenerate ("2.1")`)
-		prose  = flag.String("prose", "", "prose measurement (findnsm nsmcall underlying baselines preload breakeven marshalling nsmsize scaling consistency hitratios broadcast)")
+		prose  = flag.String("prose", "", "prose measurement (findnsm nsmcall underlying baselines preload breakeven marshalling nsmsize scaling consistency hitratios broadcast throughput)")
 		all    = flag.Bool("all", false, "run everything")
 		check  = flag.Bool("check", false, "regression gate: verify every Table 3.1 cell within ±20% of the paper and exit nonzero otherwise")
 	)
@@ -84,11 +84,12 @@ func main() {
 		"consistency": printConsistency,
 		"hitratios":   printHitRatios,
 		"broadcast":   printBroadcast,
+		"throughput":  printThroughput,
 	}
 	if *all {
 		for _, name := range []string{"findnsm", "nsmcall", "underlying", "baselines",
 			"preload", "breakeven", "marshalling", "nsmsize", "scaling", "consistency",
-			"hitratios", "broadcast"} {
+			"hitratios", "broadcast", "throughput"} {
 			run("prose "+name, proseRunners[name])
 		}
 	} else if *prose != "" {

@@ -47,6 +47,7 @@ func main() {
 		metaZone  = flag.String("metazone", "hns", "meta-information zone")
 		marshCach = flag.Bool("marshalled-cache", false, "keep the meta-cache in marshalled form (Table 3.2's slow mode)")
 		preload   = flag.Bool("preload", false, "preload the meta-cache via zone transfer at startup")
+		negTTL    = flag.Duration("neg-ttl", 0, "cache authoritative NotFound answers for this long (0 disables negative caching)")
 		metrAddr  = flag.String("metrics", "", "serve /metrics and /debug/hns on this address (empty disables)")
 		linkBind  stringList
 		linkCH    stringList
@@ -79,9 +80,10 @@ func main() {
 		mode = bind.CacheMarshalled
 	}
 	h := core.New(meta, model, core.Config{
-		MetaZone:  *metaZone,
-		CacheMode: mode,
-		RPC:       rpc,
+		MetaZone:         *metaZone,
+		CacheMode:        mode,
+		NegativeCacheTTL: *negTTL,
+		RPC:              rpc,
 	})
 
 	for _, spec := range linkBind {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -128,27 +130,51 @@ func (c *StdClient) Lookup(ctx context.Context, name string, t RRType) (_ []RR, 
 	return resp.Answers, nil
 }
 
+// call performs one exchange. The handle's mutex guards only connection
+// checkout (dialing included); the round trip itself runs outside it, so
+// one slow lookup no longer serializes every goroutine sharing the client.
 func (c *StdClient) call(ctx context.Context, req []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		tr, err := c.net.Transport(c.transportName)
-		if err != nil {
-			return nil, err
-		}
-		conn, err := tr.Dial(ctx, c.addr)
-		if err != nil {
-			return nil, err
-		}
-		c.conn = conn
+	conn, err := c.checkout(ctx)
+	if err != nil {
+		return nil, err
 	}
-	resp, err := c.conn.Call(ctx, req)
+	resp, err := conn.Call(ctx, req)
 	if err != nil {
 		// Drop the connection; the next call redials.
-		_ = c.conn.Close()
-		c.conn = nil
+		c.drop(conn)
 	}
 	return resp, err
+}
+
+// checkout returns the shared connection, dialing it under the lock if
+// absent.
+func (c *StdClient) checkout(ctx context.Context) (transport.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		return c.conn, nil
+	}
+	tr, err := c.net.Transport(c.transportName)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := tr.Dial(ctx, c.addr)
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	return conn, nil
+}
+
+// drop closes conn and forgets it if it is still the cached connection
+// (a concurrent caller may have already replaced it).
+func (c *StdClient) drop(conn transport.Conn) {
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+	_ = conn.Close()
 }
 
 // Close releases the client's connection.
@@ -292,7 +318,9 @@ func (m CacheMode) String() string {
 	return "demarshalled"
 }
 
-// Resolver wraps a Lookuper with a TTL answer cache.
+// Resolver wraps a Lookuper with a TTL answer cache. It is safe for
+// concurrent use: the cache is sharded, and concurrent misses for the
+// same key are coalesced into a single backend lookup (see flightGroup).
 type Resolver struct {
 	backend Lookuper
 	model   *simtime.Model
@@ -301,9 +329,20 @@ type Resolver struct {
 	// hand for the standard backend.
 	style marshal.Style
 	cache *cache.TTL[[]RR]
+	// neg caches authoritative negative answers for negTTL; nil when
+	// negative caching is disabled (the default).
+	neg     *cache.TTL[*NotFoundError]
+	negTTL  time.Duration
+	flights flightGroup
 	// demarshals counts marshalled-mode hit demarshals
 	// (cache_demarshal_total{cache=...}); nil when uninstrumented.
 	demarshals *metrics.Counter
+	// negHits/negStores count negative-cache activity
+	// (cache_negative_{hits,stores}_total{cache=...}).
+	negHits, negStores *metrics.Counter
+	// coalesced counts lookups that joined another caller's in-progress
+	// backend fetch (cache_coalesced_total{cache=...}).
+	coalesced *metrics.Counter
 }
 
 // ResolverConfig configures NewResolver.
@@ -316,6 +355,15 @@ type ResolverConfig struct {
 	Clock simtime.Clock
 	// MaxEntries bounds the cache; 0 = unbounded.
 	MaxEntries int
+	// Shards pins the cache shard count: 0 picks automatically, 1
+	// reproduces the single-mutex cache (the parallel benchmarks'
+	// contention baseline).
+	Shards int
+	// NegativeTTL, when positive, caches authoritative NotFound answers
+	// for that long, so repeated lookups of absent names stop re-querying
+	// the backend ("negative answers dominate real resolver load").
+	// Zero disables negative caching.
+	NegativeTTL time.Duration
 	// Metrics, with CacheName, exposes the cache's counters as
 	// cache_*{cache=CacheName} series. Nil Metrics or empty CacheName
 	// leaves the resolver uninstrumented.
@@ -326,28 +374,79 @@ type ResolverConfig struct {
 
 // NewResolver creates a caching resolver over backend.
 func NewResolver(backend Lookuper, model *simtime.Model, cfg ResolverConfig) *Resolver {
+	newCache := func() *cache.TTL[[]RR] {
+		if cfg.Shards > 0 {
+			return cache.NewWithShards[[]RR](cfg.Clock, cfg.MaxEntries, cfg.Shards)
+		}
+		return cache.New[[]RR](cfg.Clock, cfg.MaxEntries)
+	}
 	r := &Resolver{
 		backend: backend,
 		model:   model,
 		mode:    cfg.Mode,
 		style:   cfg.Style,
-		cache:   cache.New[[]RR](cfg.Clock, cfg.MaxEntries),
+		cache:   newCache(),
+		negTTL:  cfg.NegativeTTL,
+	}
+	if cfg.NegativeTTL > 0 {
+		r.neg = cache.New[*NotFoundError](cfg.Clock, cfg.MaxEntries)
 	}
 	if cfg.CacheName != "" && cfg.Metrics.Enabled() {
 		r.cache.Instrument(cfg.Metrics, cfg.CacheName)
 		r.demarshals = cfg.Metrics.Counter(
 			metrics.Labels("cache_demarshal_total", "cache", cfg.CacheName))
+		r.coalesced = cfg.Metrics.Counter(
+			metrics.Labels("cache_coalesced_total", "cache", cfg.CacheName))
+		if r.neg != nil {
+			r.negHits = cfg.Metrics.Counter(
+				metrics.Labels("cache_negative_hits_total", "cache", cfg.CacheName))
+			r.negStores = cfg.Metrics.Counter(
+				metrics.Labels("cache_negative_stores_total", "cache", cfg.CacheName))
+			neg := r.neg
+			cfg.Metrics.GaugeFunc(
+				metrics.Labels("cache_negative_entries", "cache", cfg.CacheName),
+				func() int64 { return int64(neg.Len()) })
+		}
 	}
 	return r
 }
 
+// cacheKey renders "name/type" without fmt's reflection or its
+// interface-boxing allocations — this runs on every single lookup. The
+// Builder's String() hands back its buffer without another copy, so the
+// whole key costs one allocation.
 func cacheKey(name string, t RRType) string {
-	return fmt.Sprintf("%s/%d", name, t)
+	var sb strings.Builder
+	sb.Grow(len(name) + 6) // '/' plus up to 5 digits of a uint16 type
+	sb.WriteString(name)
+	sb.WriteByte('/')
+	var digits [5]byte
+	sb.Write(strconv.AppendUint(digits[:0], uint64(t), 10))
+	return sb.String()
+}
+
+// copyRRs returns a private copy of rrs, deep enough that callers and the
+// cache cannot corrupt each other: the slice and each record's Data bytes
+// are duplicated (everything else in an RR is immutable value data).
+func copyRRs(rrs []RR) []RR {
+	if rrs == nil {
+		return nil
+	}
+	out := make([]RR, len(rrs))
+	copy(out, rrs)
+	for i := range out {
+		if out[i].Data != nil {
+			out[i].Data = append([]byte(nil), out[i].Data...)
+		}
+	}
+	return out
 }
 
 // Lookup implements Lookuper with caching. Hits are priced by cache mode;
-// misses go to the backend and are cached under the answer set's minimum
-// TTL.
+// misses go to the backend — concurrent misses for one key share a single
+// backend lookup, with each caller charged the full simulated cost — and
+// are cached under the answer set's minimum TTL. Returned slices are
+// private copies; mutating them cannot corrupt the cache.
 func (r *Resolver) Lookup(ctx context.Context, name string, t RRType) ([]RR, error) {
 	cname, err := CanonicalName(name)
 	if err != nil {
@@ -356,14 +455,47 @@ func (r *Resolver) Lookup(ctx context.Context, name string, t RRType) ([]RR, err
 	key := cacheKey(cname, t)
 	if rrs, ok := r.cache.Get(key); ok {
 		r.chargeHit(ctx, len(rrs))
-		return append([]RR(nil), rrs...), nil
+		return copyRRs(rrs), nil
+	}
+	if r.neg != nil {
+		if nf, ok := r.neg.Get(key); ok {
+			// A remembered authoritative "no": priced as a probe of an
+			// empty answer, like any other hit.
+			simtime.Charge(ctx, r.model.CacheHit(0))
+			r.negHits.Inc()
+			return nil, nf
+		}
 	}
 	metrics.CallCounterFrom(ctx).AddMiss()
-	rrs, err := r.backend.Lookup(ctx, cname, t)
+	rrs, cost, joined, err := r.flights.do(ctx, key, func(ctx context.Context) ([]RR, error) {
+		rrs, err := r.backend.Lookup(ctx, cname, t)
+		if err != nil {
+			var nf *NotFoundError
+			if r.neg != nil && errors.As(err, &nf) {
+				r.neg.Put(key, nf, r.negTTL)
+				r.negStores.Inc()
+			}
+			return nil, err
+		}
+		// The cache keeps its own copy so later caller mutations of the
+		// returned slice cannot corrupt it.
+		r.cache.Put(key, copyRRs(rrs), time.Duration(MinTTL(rrs))*time.Second)
+		return rrs, nil
+	})
+	if joined {
+		metrics.CallCounterFrom(ctx).AddCoalesced()
+		r.coalesced.Inc()
+	}
+	// Each waiter pays the full lookup, exactly as if it had gone to the
+	// backend itself — coalescing reduces backend load, not the simulated
+	// cost any one client experiences.
+	simtime.Charge(ctx, cost)
 	if err != nil {
 		return nil, err
 	}
-	r.cache.Put(key, rrs, time.Duration(MinTTL(rrs))*time.Second)
+	if joined {
+		rrs = copyRRs(rrs)
+	}
 	return rrs, nil
 }
 
@@ -380,7 +512,9 @@ func (r *Resolver) chargeHit(ctx context.Context, n int) {
 }
 
 // Preload bulk-installs records (grouped by name/type) with their own
-// TTLs — the zone-transfer preloading path.
+// TTLs — the zone-transfer preloading path. The cache stores private
+// copies, so later mutation of the caller's records (or their Data
+// bytes) cannot corrupt cached answers.
 func (r *Resolver) Preload(rrs []RR) {
 	groups := make(map[string][]RR)
 	for _, rr := range rrs {
@@ -388,16 +522,39 @@ func (r *Resolver) Preload(rrs []RR) {
 		groups[k] = append(groups[k], rr)
 	}
 	for k, g := range groups {
-		r.cache.Put(k, g, time.Duration(MinTTL(g))*time.Second)
+		r.cache.Put(k, copyRRs(g), time.Duration(MinTTL(g))*time.Second)
 	}
 }
 
 // Stats exposes the cache counters.
 func (r *Resolver) Stats() cache.Stats { return r.cache.Stats() }
 
-// Purge empties the cache.
-func (r *Resolver) Purge() { r.cache.Purge() }
+// NegativeStats exposes the negative cache's counters (zero when negative
+// caching is disabled).
+func (r *Resolver) NegativeStats() cache.Stats {
+	if r.neg == nil {
+		return cache.Stats{}
+	}
+	return r.neg.Stats()
+}
 
-// Sweep proactively removes expired cache entries, reporting how many were
-// dropped.
-func (r *Resolver) Sweep() int { return r.cache.Sweep() }
+// LockWaits reports contended shard-lock acquisitions on the answer cache.
+func (r *Resolver) LockWaits() int64 { return r.cache.LockWaits() }
+
+// Purge empties the cache, the negative cache included.
+func (r *Resolver) Purge() {
+	r.cache.Purge()
+	if r.neg != nil {
+		r.neg.Purge()
+	}
+}
+
+// Sweep proactively removes expired cache entries (negative ones
+// included), reporting how many were dropped.
+func (r *Resolver) Sweep() int {
+	n := r.cache.Sweep()
+	if r.neg != nil {
+		n += r.neg.Sweep()
+	}
+	return n
+}

@@ -1,0 +1,92 @@
+package bind
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hns/internal/simtime"
+)
+
+// flightGroup coalesces concurrent cache misses for the same key into one
+// backend lookup — the classic singleflight discipline, specialised for
+// the resolver.
+//
+// The subtlety is simulated cost. The paper's tables price what one client
+// *experiences*: a cache-cold FindNSM costs the full lookup whether or not
+// some other client happens to be fetching the same record at the same
+// instant. So the leader runs the backend call against a private meter,
+// and every caller (leader and joiners alike) is charged the captured
+// cost on its own meter. Coalescing therefore changes backend load — N
+// concurrent misses cost the meta-BIND one lookup — without perturbing a
+// single Table 3.1/3.2 cell.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress backend lookup.
+type flight struct {
+	done chan struct{} // closed when the leader finishes
+
+	// waiters counts every caller attached to this flight, leader
+	// included (read by the stampede test to release the backend only
+	// once the whole herd has piled up).
+	waiters atomic.Int64
+
+	// Results, valid after done is closed. rrs is the leader's private
+	// copy; each waiter re-copies before returning (see copyRRs).
+	rrs  []RR
+	err  error
+	cost time.Duration // simulated cost of the backend lookup
+}
+
+// do executes fn for key, coalescing with an in-progress flight for the
+// same key if one exists. It reports the answer, the simulated cost the
+// caller must charge, and whether this caller joined an existing flight
+// rather than leading one. A caller whose ctx dies while waiting detaches
+// with ctx.Err() — the flight itself keeps running for the others.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) ([]RR, error)) (rrs []RR, cost time.Duration, joined bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		f.waiters.Add(1)
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.rrs, f.cost, true, f.err
+		case <-ctx.Done():
+			return nil, 0, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	f.waiters.Add(1)
+	g.m[key] = f
+	g.mu.Unlock()
+
+	// Lead: run the backend lookup against a private meter so its cost
+	// can be replayed onto every waiter's meter, exactly once each.
+	meter := simtime.NewMeter()
+	f.rrs, f.err = fn(simtime.WithMeter(ctx, meter))
+	f.cost = meter.Elapsed()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.rrs, f.cost, false, f.err
+}
+
+// waiting reports how many callers are currently attached to the flight
+// for key (0 when none is in progress). Test hook.
+func (g *flightGroup) waiting(key string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f.waiters.Load()
+	}
+	return 0
+}

@@ -12,11 +12,23 @@
 // The cache is storage only; *pricing* an access (demarshalled probe vs
 // demarshal-on-every-access, Table 3.2) is the caller's job, because only
 // the caller knows what form it stores entries in.
+//
+// Internally the cache is sharded: keys hash (FNV-1a) onto a power-of-two
+// number of shards, each with its own mutex, map, LRU list, and stats.
+// Concurrent readers of distinct keys therefore never contend, which is
+// what lets the warm FindNSM path scale with cores (the paper's cache
+// arithmetic assumed a single caller; a server front-ending millions of
+// users does not have that luxury). Stats are merged across shards at
+// snapshot time, so the Stats/HitRate numbers the colocation analysis
+// reads are unchanged by sharding. Small bounded caches stay single-shard
+// so their LRU victim selection remains exact.
 package cache
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hns/internal/metrics"
@@ -42,6 +54,14 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Expired += o.Expired
+	s.Evicted += o.Evicted
+	s.Preloads += o.Preloads
+}
+
 type entry[V any] struct {
 	key     string
 	value   V
@@ -49,60 +69,167 @@ type entry[V any] struct {
 	elem    *list.Element
 }
 
+// shard is one independently locked slice of the key space.
+type shard[V any] struct {
+	mu      sync.Mutex
+	entries map[string]*entry[V]
+	order   *list.List // front = most recently used
+	stats   Stats
+	max     int // this shard's entry bound; 0 = unbounded
+}
+
+// DefaultShards is the shard count used for unbounded and large caches.
+// Power of two so shard selection is a mask.
+const DefaultShards = 16
+
+// minShardedMax is the smallest bounded capacity that gets sharded. Below
+// it a single shard keeps LRU victim selection exact, which tiny caches
+// (and the tests pinning the paper's eviction behaviour) care about more
+// than they care about lock contention.
+const minShardedMax = 1024
+
+// maxShards bounds explicit shard requests.
+const maxShards = 256
+
 // TTL is a TTL + LRU cache. The zero value is not usable; call New.
 // TTL is safe for concurrent use.
 type TTL[V any] struct {
 	clock simtime.Clock
 	max   int // 0 = unbounded
+	mask  uint32
+	shards []*shard[V]
 
-	mu      sync.Mutex
-	entries map[string]*entry[V]
-	order   *list.List // front = most recently used
-	stats   Stats
+	// lockWaits counts shard-lock acquisitions that found the lock held
+	// (TryLock failed) — a direct contention signal, exposed as
+	// cache_lock_wait_total.
+	lockWaits atomic.Int64
 }
 
 // New creates a cache reading time from clock and holding at most max
-// entries (0 for unbounded). A nil clock means the real clock.
+// entries (0 for unbounded). A nil clock means the real clock. The shard
+// count is chosen automatically; use NewWithShards to pin it.
 func New[V any](clock simtime.Clock, max int) *TTL[V] {
+	shards := DefaultShards
+	if max > 0 && max < minShardedMax {
+		shards = 1
+	}
+	return NewWithShards[V](clock, max, shards)
+}
+
+// NewWithShards creates a cache with an explicit shard count (rounded up
+// to a power of two, clamped to [1, 256] and — for bounded caches — to at
+// most max, so no shard's capacity rounds down to zero). Shards = 1
+// reproduces the classic single-mutex cache; the parallel benchmark tier
+// uses that as its contention baseline.
+func NewWithShards[V any](clock simtime.Clock, max, shards int) *TTL[V] {
 	if clock == nil {
 		clock = simtime.RealClock{}
 	}
-	return &TTL[V]{
-		clock:   clock,
-		max:     max,
-		entries: make(map[string]*entry[V]),
-		order:   list.New(),
+	if shards < 1 {
+		shards = 1
 	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	// A bounded cache never gets more shards than entries, or a shard's
+	// capacity would round down to zero (which means "unbounded").
+	for max > 0 && n > max {
+		n >>= 1
+	}
+	c := &TTL[V]{
+		clock:  clock,
+		max:    max,
+		mask:   uint32(n - 1),
+		shards: make([]*shard[V], n),
+	}
+	// Distribute a bounded capacity across shards so the global bound
+	// (sum of shard bounds) is exactly max.
+	base, rem := 0, 0
+	if max > 0 {
+		base, rem = max/n, max%n
+	}
+	for i := range c.shards {
+		sm := 0
+		if max > 0 {
+			sm = base
+			if i < rem {
+				sm++
+			}
+		}
+		c.shards[i] = &shard[V]{
+			entries: make(map[string]*entry[V]),
+			order:   list.New(),
+			max:     sm,
+		}
+	}
+	return c
 }
+
+// ShardCount reports how many shards the cache was built with.
+func (c *TTL[V]) ShardCount() int { return len(c.shards) }
+
+// shardFor selects the shard owning key (inlined FNV-1a; importing
+// hash/fnv would allocate a hasher per access).
+func (c *TTL[V]) shardFor(key string) *shard[V] {
+	if c.mask == 0 {
+		return c.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h&c.mask]
+}
+
+// lock acquires s.mu, counting the acquisition as contended when the lock
+// was already held. The TryLock fast path costs one atomic on the
+// uncontended path.
+func (c *TTL[V]) lock(s *shard[V]) {
+	if s.mu.TryLock() {
+		return
+	}
+	c.lockWaits.Add(1)
+	s.mu.Lock()
+}
+
+// LockWaits reports how many shard-lock acquisitions found the lock held.
+func (c *TTL[V]) LockWaits() int64 { return c.lockWaits.Load() }
 
 // Get returns the live entry for key. Expired entries count as misses and
 // are removed.
 func (c *TTL[V]) Get(key string) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	s := c.shardFor(key)
+	c.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok {
-		c.stats.Misses++
+		s.stats.Misses++
 		var zero V
 		return zero, false
 	}
 	if !c.clock.Now().Before(e.expires) {
-		c.removeLocked(e)
-		c.stats.Misses++
-		c.stats.Expired++
+		s.removeLocked(e)
+		s.stats.Misses++
+		s.stats.Expired++
 		var zero V
 		return zero, false
 	}
-	c.order.MoveToFront(e.elem)
-	c.stats.Hits++
+	s.order.MoveToFront(e.elem)
+	s.stats.Hits++
 	return e.value, true
 }
 
 // Peek returns the live entry for key without touching LRU order or stats.
 func (c *TTL[V]) Peek(key string) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	s := c.shardFor(key)
+	c.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if !ok || !c.clock.Now().Before(e.expires) {
 		var zero V
 		return zero, false
@@ -116,28 +243,29 @@ func (c *TTL[V]) Put(key string, value V, ttl time.Duration) {
 	if ttl <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.putLocked(key, value, ttl)
+	s := c.shardFor(key)
+	c.lock(s)
+	defer s.mu.Unlock()
+	c.putLocked(s, key, value, ttl)
 }
 
-func (c *TTL[V]) putLocked(key string, value V, ttl time.Duration) {
-	if e, ok := c.entries[key]; ok {
+func (c *TTL[V]) putLocked(s *shard[V], key string, value V, ttl time.Duration) {
+	if e, ok := s.entries[key]; ok {
 		e.value = value
 		e.expires = c.clock.Now().Add(ttl)
-		c.order.MoveToFront(e.elem)
+		s.order.MoveToFront(e.elem)
 		return
 	}
 	e := &entry[V]{key: key, value: value, expires: c.clock.Now().Add(ttl)}
-	e.elem = c.order.PushFront(e)
-	c.entries[key] = e
-	for c.max > 0 && len(c.entries) > c.max {
-		oldest := c.order.Back()
+	e.elem = s.order.PushFront(e)
+	s.entries[key] = e
+	for s.max > 0 && len(s.entries) > s.max {
+		oldest := s.order.Back()
 		if oldest == nil {
 			break
 		}
-		c.removeLocked(oldest.Value.(*entry[V]))
-		c.stats.Evicted++
+		s.removeLocked(oldest.Value.(*entry[V]))
+		s.stats.Evicted++
 	}
 }
 
@@ -147,82 +275,113 @@ func (c *TTL[V]) Preload(items map[string]V, ttl time.Duration) {
 	if ttl <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for k, v := range items {
-		c.putLocked(k, v, ttl)
-		c.stats.Preloads++
+		s := c.shardFor(k)
+		c.lock(s)
+		c.putLocked(s, k, v, ttl)
+		s.stats.Preloads++
+		s.mu.Unlock()
 	}
 }
 
 // Delete removes key, reporting whether it was present.
 func (c *TTL[V]) Delete(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	s := c.shardFor(key)
+	c.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
 	if ok {
-		c.removeLocked(e)
+		s.removeLocked(e)
 	}
 	return ok
 }
 
-func (c *TTL[V]) removeLocked(e *entry[V]) {
-	delete(c.entries, e.key)
-	c.order.Remove(e.elem)
+func (s *shard[V]) removeLocked(e *entry[V]) {
+	delete(s.entries, e.key)
+	s.order.Remove(e.elem)
 }
 
 // Sweep removes expired entries proactively, returning how many were
 // dropped. Expired entries are otherwise removed lazily on access, so
 // long-lived servers (hnsd, the NSM daemons) call Sweep periodically to
-// keep dead data from pinning memory.
+// keep dead data from pinning memory. Shards are swept one at a time, so
+// a sweep never stalls readers of the whole cache.
 func (c *TTL[V]) Sweep() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.clock.Now()
 	dropped := 0
-	for _, e := range c.entries {
-		if !now.Before(e.expires) {
-			c.removeLocked(e)
-			dropped++
+	for _, s := range c.shards {
+		c.lock(s)
+		for _, e := range s.entries {
+			if !now.Before(e.expires) {
+				s.removeLocked(e)
+				dropped++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return dropped
 }
 
 // Purge empties the cache (stats are kept).
 func (c *TTL[V]) Purge() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*entry[V])
-	c.order.Init()
+	for _, s := range c.shards {
+		c.lock(s)
+		s.entries = make(map[string]*entry[V])
+		s.order.Init()
+		s.mu.Unlock()
+	}
 }
 
 // Len reports the number of entries, including any not yet expired-out.
 func (c *TTL[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, s := range c.shards {
+		c.lock(s)
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, merged across shards.
 func (c *TTL[V]) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var out Stats
+	for _, s := range c.shards {
+		c.lock(s)
+		out.add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ShardStats returns each shard's counters — the access distribution the
+// parallel benchmark tier inspects for hash balance.
+func (c *TTL[V]) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		c.lock(s)
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // ResetStats zeroes the counters (used between benchmark phases).
 func (c *TTL[V]) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats = Stats{}
+	for _, s := range c.shards {
+		c.lock(s)
+		s.stats = Stats{}
+		s.mu.Unlock()
+	}
+	c.lockWaits.Store(0)
 }
 
 // Instrument exposes the cache's counters as gauge series on r, labeled
 // cache=<name>: cache_hits_total, cache_misses_total, cache_expired_total,
-// cache_evicted_total, cache_preloads_total, and cache_entries. The series
-// read the existing Stats at snapshot time, so instrumenting adds no work
-// to the access path.
+// cache_evicted_total, cache_preloads_total, cache_entries, plus the
+// concurrency series cache_shards, cache_lock_wait_total, and per-shard
+// cache_shard_accesses{shard=i}. The series read the existing Stats at
+// snapshot time, so instrumenting adds no work to the access path.
 func (c *TTL[V]) Instrument(r *metrics.Registry, name string) {
 	series := func(metric string, read func(Stats) int64) {
 		r.GaugeFunc(metrics.Labels(metric, "cache", name), func() int64 {
@@ -237,4 +396,17 @@ func (c *TTL[V]) Instrument(r *metrics.Registry, name string) {
 	r.GaugeFunc(metrics.Labels("cache_entries", "cache", name), func() int64 {
 		return int64(c.Len())
 	})
+	r.GaugeFunc(metrics.Labels("cache_shards", "cache", name), func() int64 {
+		return int64(c.ShardCount())
+	})
+	r.GaugeFunc(metrics.Labels("cache_lock_wait_total", "cache", name), c.LockWaits)
+	for i := range c.shards {
+		s := c.shards[i]
+		r.GaugeFunc(metrics.Labels("cache_shard_accesses",
+			"cache", name, "shard", strconv.Itoa(i)), func() int64 {
+			c.lock(s)
+			defer s.mu.Unlock()
+			return s.stats.Hits + s.stats.Misses
+		})
+	}
 }

@@ -83,6 +83,15 @@ type Config struct {
 	Clock simtime.Clock
 	// MaxCacheEntries bounds the meta-cache; 0 = unbounded.
 	MaxCacheEntries int
+	// CacheShards pins the meta-cache shard count: 0 picks automatically
+	// (sharded), 1 restores the single-mutex cache. The parallel
+	// benchmark tier uses 1 as its contention baseline.
+	CacheShards int
+	// NegativeCacheTTL, when positive, remembers authoritative "no such
+	// meta record" answers for that long, so lookups of unregistered
+	// contexts stop hammering the meta-BIND. Zero disables negative
+	// caching (the paper's prototype had none).
+	NegativeCacheTTL time.Duration
 	// RPC, when set, lets the HNS fall back to *remote* HostAddress NSMs
 	// for name services with no linked resolver. Without it, such
 	// lookups fail — the prototype always linked its HostAddress NSMs.
@@ -139,11 +148,13 @@ func New(meta *bind.HRPCClient, model *simtime.Model, cfg Config) *HNS {
 			Mode: cfg.CacheMode,
 			// Meta data arrives via the generated stubs, so marshalled-
 			// mode hits pay the generated demarshal rate.
-			Style:      marshal.StyleGenerated,
-			Clock:      cfg.Clock,
-			MaxEntries: cfg.MaxCacheEntries,
-			Metrics:    reg,
-			CacheName:  "meta",
+			Style:       marshal.StyleGenerated,
+			Clock:       cfg.Clock,
+			MaxEntries:  cfg.MaxCacheEntries,
+			Shards:      cfg.CacheShards,
+			NegativeTTL: cfg.NegativeCacheTTL,
+			Metrics:     reg,
+			CacheName:   "meta",
 		}),
 		hostResolvers: make(map[string]HostResolver),
 		instr:         reg.Enabled(),
@@ -476,6 +487,11 @@ type Stats struct {
 type CacheStats struct {
 	Hits, Misses, Expired, Preloads int64
 	HitRate                         float64
+	// NegativeHits counts lookups answered from the negative cache
+	// (zero unless Config.NegativeCacheTTL is set).
+	NegativeHits int64
+	// LockWaits counts contended meta-cache shard-lock acquisitions.
+	LockWaits int64
 }
 
 // Stats returns a snapshot.
@@ -486,6 +502,8 @@ func (h *HNS) Stats() Stats {
 		Cache: CacheStats{
 			Hits: cs.Hits, Misses: cs.Misses, Expired: cs.Expired,
 			Preloads: cs.Preloads, HitRate: cs.HitRate(),
+			NegativeHits: h.resolver.NegativeStats().Hits,
+			LockWaits:    h.resolver.LockWaits(),
 		},
 	}
 }

@@ -138,3 +138,58 @@ func TestUniformVsSkewed(t *testing.T) {
 		t.Fatalf("skewed mean %v not below uniform %v", s.MeanOpCost, u.MeanOpCost)
 	}
 }
+
+// TestRunConcurrent exercises every placement with all clients live at
+// once — run under -race this is the end-to-end data-race check for the
+// sharded cache, singleflight, and the HRPC transport.
+func TestRunConcurrent(t *testing.T) {
+	w := newWorkloadWorld(t, 6)
+	spec := workload.Spec{Clients: 8, OpsPerClient: 6, Contexts: 6, Skew: 1.3, Seed: 19}
+	ctx := context.Background()
+	for _, placement := range []workload.Placement{
+		workload.LocalHNS, workload.SharedRemoteHNS, workload.SharedLocalHNS,
+	} {
+		res, err := workload.RunConcurrent(ctx, w, spec, placement)
+		if err != nil {
+			t.Fatalf("%v: %v", placement, err)
+		}
+		if res.Ops != spec.Clients*spec.OpsPerClient {
+			t.Fatalf("%v: Ops = %d, want %d", placement, res.Ops, spec.Clients*spec.OpsPerClient)
+		}
+		if res.Wall <= 0 || res.OpsPerSec <= 0 {
+			t.Fatalf("%v: wall %v ops/sec %.1f", placement, res.Wall, res.OpsPerSec)
+		}
+		if res.TotalCost <= 0 || res.MeanOpCost <= 0 {
+			t.Fatalf("%v: costs %v/%v", placement, res.TotalCost, res.MeanOpCost)
+		}
+		if res.HitRate < 0 || res.HitRate > 1 {
+			t.Fatalf("%v: hit rate %.2f out of range", placement, res.HitRate)
+		}
+	}
+}
+
+// TestSharedLocalPlacement pins the concurrency tier's placement in the
+// sequential runner too: one in-process cache warmed by every client gives
+// the shared-remote hit rate without the remote-call tax, so it can never
+// cost more per op than shared-remote on the same draw.
+func TestSharedLocalPlacement(t *testing.T) {
+	w := newWorkloadWorld(t, 6)
+	spec := workload.Spec{Clients: 12, OpsPerClient: 3, Contexts: 6, Skew: 1.3, Seed: 7}
+	ctx := context.Background()
+	sharedLocal, err := workload.Run(ctx, w, spec, workload.SharedLocalHNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedRemote, err := workload.Run(ctx, w, spec, workload.SharedRemoteHNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharedLocal.HitRate != sharedRemote.HitRate {
+		t.Fatalf("same draw, same shared cache, different hit rates: %.3f vs %.3f",
+			sharedLocal.HitRate, sharedRemote.HitRate)
+	}
+	if sharedLocal.MeanOpCost >= sharedRemote.MeanOpCost {
+		t.Fatalf("shared-local mean %v not below shared-remote %v (no remote tax expected)",
+			sharedLocal.MeanOpCost, sharedRemote.MeanOpCost)
+	}
+}

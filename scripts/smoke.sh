@@ -9,8 +9,15 @@ trap 'kill $(cat "$workdir/pids" 2>/dev/null) 2>/dev/null || true; rm -rf "$work
 
 cd "$(dirname "$0")/.."
 
+echo "--- static checks"
+go vet ./...
+
 echo "--- race detector over the full test suite"
 go test -race ./...
+
+echo "--- race detector, concurrency stress at -cpu 4"
+go test -race -cpu 4 -run 'Stress|Stampede|Concurrent|Shard|Parallel' \
+        . ./internal/cache ./internal/bind ./internal/workload
 
 go build -o "$workdir" ./cmd/...
 
