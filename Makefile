@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-parallel fuzz smoke examples harness regen outputs
+.PHONY: all build vet test race bench bench-parallel fuzz smoke chaos examples harness regen outputs
 
 all: build vet test
 
@@ -36,6 +36,15 @@ fuzz:
 # Multi-process deployment over real sockets.
 smoke:
 	./scripts/smoke.sh
+
+# The failure-injection tier: the seeded availability experiment (replica
+# kill, loss bursts, total blackout) plus the failover, breaker, and
+# fault-plan test suites under the race detector.
+chaos:
+	go test -race -run 'TestRunAvailability' ./internal/experiments/
+	go test -race -run 'TestFailover|TestPlan|TestFaulty|TestUnavailable' ./internal/transport/ ./internal/hrpc/
+	go test -race ./internal/health/
+	go run ./cmd/hnsbench -prose availability
 
 examples:
 	go run ./examples/quickstart

@@ -10,18 +10,30 @@
 //	bindd -host fiji -zone cs.washington.edu -update \
 //	      -records zone.txt -hrpc 127.0.0.1:5301 -std 127.0.0.1:5302
 //
+// With -secondary, bindd instead mirrors its (single) zone from another
+// bindd's HRPC interface by serial-checked zone transfer, re-checking
+// every -refresh. A secondary is the replication arrangement real BIND
+// used: point hnsd's -meta-replica at one and the meta-information
+// survives the primary's death. Mirrors never accept updates, so
+// -secondary excludes -update and -records.
+//
+//	bindd -host tahoma2 -zone hns -secondary 127.0.0.1:5301 \
+//	      -refresh 30s -hrpc 127.0.0.1:5311
+//
 // Zone files use the line format of internal/bind.ParseZoneFile:
 //
 //	name  ttl  type  data...
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"hns/internal/bind"
 	"hns/internal/hrpc"
@@ -45,6 +57,8 @@ func main() {
 		hrpcAddr = flag.String("hrpc", "127.0.0.1:5301", "HRPC interface listen address (TCP)")
 		stdAddr  = flag.String("std", "127.0.0.1:5302", "standard interface listen address (UDP); empty disables")
 		metrAddr = flag.String("metrics", "", "serve /metrics and /debug/hns on this address (empty disables)")
+		secAddr  = flag.String("secondary", "", "mirror the zone from this primary bindd HRPC address (TCP) instead of serving authoritatively")
+		refresh  = flag.Duration("refresh", 30*time.Second, "serial-check interval in -secondary mode")
 	)
 	flag.Var(&zones, "zone", "zone origin to be authoritative for (repeatable)")
 	flag.Parse()
@@ -63,30 +77,83 @@ func main() {
 
 	model := simtime.Default()
 	net := transport.NewNetwork(model)
-	srv := bind.NewServer(*host, model)
-	for _, origin := range zones {
-		z, err := bind.NewZone(origin, *update)
+
+	var srv *bind.Server
+	if *secAddr != "" {
+		// Secondary mode: a read-only mirror of one zone, kept current by
+		// serial-checked transfers from the primary.
+		if *update {
+			log.Fatal("bindd: -secondary excludes -update (mirrors never accept updates)")
+		}
+		if *records != "" {
+			log.Fatal("bindd: -secondary excludes -records (contents come from the primary)")
+		}
+		if len(zones) != 1 {
+			log.Fatal("bindd: -secondary mirrors exactly one -zone")
+		}
+		rpc := hrpc.NewClient(net)
+		rpc.FreshConn = true
+		defer rpc.Close()
+		primary := bind.NewHRPCClient(rpc,
+			hrpc.SuiteRawNet.Bind(*secAddr, *secAddr, bind.HRPCProgram, bind.HRPCVersion))
+		sec, err := bind.NewSecondary(primary, zones[0], *host, model)
 		if err != nil {
 			log.Fatalf("bindd: %v", err)
 		}
-		if err := srv.AddZone(z); err != nil {
-			log.Fatalf("bindd: %v", err)
+		srv = sec.Server()
+		if _, err := sec.Refresh(context.Background()); err != nil {
+			// A dead primary at startup is survivable: keep serving the
+			// (empty) zone and keep trying — that is the point of a mirror.
+			log.Printf("bindd: initial transfer from %s failed: %v (retrying every %s)",
+				*secAddr, err, *refresh)
+		} else {
+			log.Printf("bindd: mirrored %s from %s at serial %d", zones[0], *secAddr, sec.Serial())
 		}
-	}
-	if *records != "" {
-		f, err := os.Open(*records)
-		if err != nil {
-			log.Fatalf("bindd: %v", err)
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			ticker := time.NewTicker(*refresh)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					moved, err := sec.Refresh(context.Background())
+					if err != nil {
+						log.Printf("bindd: refresh: %v", err)
+					} else if moved {
+						log.Printf("bindd: transferred %s at serial %d", zones[0], sec.Serial())
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	} else {
+		srv = bind.NewServer(*host, model)
+		for _, origin := range zones {
+			z, err := bind.NewZone(origin, *update)
+			if err != nil {
+				log.Fatalf("bindd: %v", err)
+			}
+			if err := srv.AddZone(z); err != nil {
+				log.Fatalf("bindd: %v", err)
+			}
 		}
-		rrs, err := bind.ParseZoneFile(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("bindd: %v", err)
+		if *records != "" {
+			f, err := os.Open(*records)
+			if err != nil {
+				log.Fatalf("bindd: %v", err)
+			}
+			rrs, err := bind.ParseZoneFile(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("bindd: %v", err)
+			}
+			if err := srv.LoadRecords(rrs); err != nil {
+				log.Fatalf("bindd: %v", err)
+			}
+			log.Printf("bindd: loaded %d records from %s", len(rrs), *records)
 		}
-		if err := srv.LoadRecords(rrs); err != nil {
-			log.Fatalf("bindd: %v", err)
-		}
-		log.Printf("bindd: loaded %d records from %s", len(rrs), *records)
 	}
 
 	hrpcLn, binding, err := hrpc.Serve(net, srv.HRPCServer(), hrpc.SuiteRawNet, *host, *hrpcAddr)

@@ -72,24 +72,25 @@ func main() {
 		run("figure 2.1", printFigure21)
 	}
 	proseRunners := map[string]func(context.Context, *world.World) error{
-		"findnsm":     printFindNSM,
-		"nsmcall":     printNSMCall,
-		"underlying":  printUnderlying,
-		"baselines":   printBaselines,
-		"preload":     printPreload,
-		"breakeven":   printBreakEven,
-		"marshalling": printMarshalling,
-		"nsmsize":     printNSMSize,
-		"scaling":     printScaling,
-		"consistency": printConsistency,
-		"hitratios":   printHitRatios,
-		"broadcast":   printBroadcast,
-		"throughput":  printThroughput,
+		"findnsm":      printFindNSM,
+		"nsmcall":      printNSMCall,
+		"underlying":   printUnderlying,
+		"baselines":    printBaselines,
+		"preload":      printPreload,
+		"breakeven":    printBreakEven,
+		"marshalling":  printMarshalling,
+		"nsmsize":      printNSMSize,
+		"scaling":      printScaling,
+		"consistency":  printConsistency,
+		"hitratios":    printHitRatios,
+		"broadcast":    printBroadcast,
+		"throughput":   printThroughput,
+		"availability": printAvailability,
 	}
 	if *all {
 		for _, name := range []string{"findnsm", "nsmcall", "underlying", "baselines",
 			"preload", "breakeven", "marshalling", "nsmsize", "scaling", "consistency",
-			"hitratios", "broadcast", "throughput"} {
+			"hitratios", "broadcast", "throughput", "availability"} {
 			run("prose "+name, proseRunners[name])
 		}
 	} else if *prose != "" {

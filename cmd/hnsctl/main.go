@@ -12,6 +12,7 @@
 //	                        -nsm-host H -hostctx C -port P -suite t,d,c
 //	hnsctl dump    -meta 127.0.0.1:5301
 //	hnsctl stats   -from 127.0.0.1:5390 [-filter substr]
+//	hnsctl health  -from 127.0.0.1:5390
 //
 // Registrations write meta records through the modified BIND's dynamic
 // update interface; `dump` prints the whole meta zone as a zone file.
@@ -67,6 +68,8 @@ func main() {
 		err = cmdDump(env, args)
 	case "stats":
 		err = cmdStats(args)
+	case "health":
+		err = cmdHealth(args)
 	default:
 		usage()
 	}
@@ -77,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump|stats} [flags] args...")
+	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump|stats|health} [flags] args...")
 	os.Exit(2)
 }
 

@@ -49,11 +49,14 @@ func main() {
 		preload   = flag.Bool("preload", false, "preload the meta-cache via zone transfer at startup")
 		negTTL    = flag.Duration("neg-ttl", 0, "cache authoritative NotFound answers for this long (0 disables negative caching)")
 		metrAddr  = flag.String("metrics", "", "serve /metrics and /debug/hns on this address (empty disables)")
+		staleFor  = flag.Duration("serve-stale", 0, "serve expired meta-cache entries up to this long past expiry when every meta-BIND replica is down (0 disables)")
 		linkBind  stringList
 		linkCH    stringList
+		metaReps  stringList
 	)
 	flag.Var(&linkBind, "link-bind", "ns=stdaddr: link a BIND HostAddress NSM (repeatable)")
 	flag.Var(&linkCH, "link-ch", "ns=addr,principal,secret: link a Clearinghouse HostAddress NSM (repeatable)")
+	flag.Var(&metaReps, "meta-replica", "additional meta-BIND HRPC address tried when -meta is unreachable (repeatable, ordered)")
 	flag.Parse()
 
 	if *metrAddr != "" {
@@ -72,6 +75,10 @@ func main() {
 
 	metaRPC := hrpc.NewClient(net)
 	metaRPC.FreshConn = true
+	if len(metaReps) > 0 {
+		metaRPC.SetReplicas(*metaAddr, metaReps...)
+		log.Printf("hnsd: meta failover replicas: %s", metaReps.String())
+	}
 	meta := bind.NewHRPCClient(metaRPC,
 		hrpc.SuiteRawNet.Bind(*metaAddr, *metaAddr, bind.HRPCProgram, bind.HRPCVersion))
 
@@ -83,6 +90,7 @@ func main() {
 		MetaZone:         *metaZone,
 		CacheMode:        mode,
 		NegativeCacheTTL: *negTTL,
+		ServeStale:       *staleFor,
 		RPC:              rpc,
 	})
 

@@ -44,6 +44,7 @@ func main() {
 		chPrincipal = flag.String("ch-principal", "", "Clearinghouse principal")
 		chSecret    = flag.String("ch-secret", "", "Clearinghouse secret")
 		marshalled  = flag.Bool("marshalled-cache", false, "keep the NSM cache in marshalled form")
+		staleFor    = flag.Duration("serve-stale", 0, "serve expired cache entries up to this long past expiry when the underlying name service is down (0 disables)")
 		metrAddr    = flag.String("metrics", "", "serve /metrics and /debug/hns on this address (empty disables)")
 	)
 	flag.Parse()
@@ -68,7 +69,7 @@ func main() {
 	rpc := hrpc.NewClient(net)
 	defer rpc.Close()
 
-	opts := nsm.Options{}
+	opts := nsm.Options{StaleFor: *staleFor}
 	if *marshalled {
 		opts.CacheMode = bind.CacheMarshalled
 	}

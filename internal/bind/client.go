@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"hns/internal/cache"
+	"hns/internal/health"
 	"hns/internal/hrpc"
 	"hns/internal/marshal"
 	"hns/internal/metrics"
@@ -38,18 +39,22 @@ func (e *NotFoundError) Error() string {
 
 // ---- Standard-interface client (hand-coded marshalling).
 
-// StdClient speaks the standard wire protocol to one server. Its
-// marshalling is priced at the hand-coded rates: this is the "standard
-// BIND library" path (27 ms lookups in the paper).
+// StdClient speaks the standard wire protocol to a server, or an ordered
+// replica set of servers: the first address is preferred, and per-endpoint
+// circuit breakers fail traffic over to the next live replica when it
+// stops answering. Its marshalling is priced at the hand-coded rates: this
+// is the "standard BIND library" path (27 ms lookups in the paper).
 type StdClient struct {
 	net           *transport.Network
 	transportName string
-	addr          string
+	addrs         []string // ordered replica set; addrs[0] preferred
 	obs           clientObs
+	health        *health.Set
 
-	mu   sync.Mutex
-	conn transport.Conn
-	id   atomic.Uint32
+	mu       sync.Mutex
+	conn     transport.Conn
+	connAddr string
+	id       atomic.Uint32
 }
 
 // clientObs holds the BIND client-side counters, shared by both client
@@ -95,8 +100,25 @@ func isNotFound(err error) bool {
 
 // NewStdClient creates a standard-interface client for the server at addr
 // over the named transport ("udp" for the classic remote configuration).
-func NewStdClient(net *transport.Network, transportName, addr string) *StdClient {
-	return &StdClient{net: net, transportName: transportName, addr: addr, obs: newClientObs("std")}
+// Additional replica addresses, tried in order when earlier endpoints are
+// unhealthy, may follow.
+func NewStdClient(net *transport.Network, transportName, addr string, replicas ...string) *StdClient {
+	return &StdClient{
+		net:           net,
+		transportName: transportName,
+		addrs:         append([]string{addr}, replicas...),
+		obs:           newClientObs("std"),
+		health:        health.NewSet(health.Config{Service: "bind-std"}),
+	}
+}
+
+// SetHealth replaces the client's breaker configuration (clock, threshold,
+// cooldown, metrics registry). Set before first use.
+func (c *StdClient) SetHealth(cfg health.Config) {
+	if cfg.Service == "" {
+		cfg.Service = "bind-std"
+	}
+	c.health = health.NewSet(cfg)
 }
 
 // Lookup implements Lookuper.
@@ -130,40 +152,81 @@ func (c *StdClient) Lookup(ctx context.Context, name string, t RRType) (_ []RR, 
 	return resp.Answers, nil
 }
 
-// call performs one exchange. The handle's mutex guards only connection
-// checkout (dialing included); the round trip itself runs outside it, so
-// one slow lookup no longer serializes every goroutine sharing the client.
+// call performs one exchange against the first live replica, failing over
+// down the replica list when an endpoint proves unreachable. The handle's
+// mutex guards only connection checkout (dialing included); the round trip
+// itself runs outside it, so one slow lookup no longer serializes every
+// goroutine sharing the client.
 func (c *StdClient) call(ctx context.Context, req []byte) ([]byte, error) {
-	conn, err := c.checkout(ctx)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := conn.Call(ctx, req)
-	if err != nil {
+	var lastErr error
+	for range c.addrs {
+		conn, addr, err := c.checkout(ctx)
+		if err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		resp, err := conn.Call(ctx, req)
+		if err == nil {
+			c.health.Breaker(addr).Success()
+			return resp, nil
+		}
 		// Drop the connection; the next call redials.
 		c.drop(conn)
+		var re *transport.RemoteError
+		if errors.As(err, &re) {
+			// A live server answering with an error: healthy endpoint,
+			// nothing a replica would fix.
+			c.health.Breaker(addr).Success()
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		c.health.Breaker(addr).Failure()
+		lastErr = err
 	}
-	return resp, err
+	return nil, lastErr
 }
 
-// checkout returns the shared connection, dialing it under the lock if
-// absent.
-func (c *StdClient) checkout(ctx context.Context) (transport.Conn, error) {
+// checkout returns the shared connection, dialing the first replica whose
+// breaker admits a call when no connection is cached. A cached connection
+// to an endpoint whose breaker has since opened is discarded, so traffic
+// follows health, not connection affinity.
+func (c *StdClient) checkout(ctx context.Context) (transport.Conn, string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn != nil {
-		return c.conn, nil
+		if ok, _ := c.health.Breaker(c.connAddr).Allow(); ok {
+			return c.conn, c.connAddr, nil
+		}
+		_ = c.conn.Close()
+		c.conn, c.connAddr = nil, ""
 	}
 	tr, err := c.net.Transport(c.transportName)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	conn, err := tr.Dial(ctx, c.addr)
-	if err != nil {
-		return nil, err
+	var lastErr error
+	for _, addr := range c.addrs {
+		ok, _ := c.health.Breaker(addr).Allow()
+		if !ok {
+			continue
+		}
+		conn, err := tr.Dial(ctx, addr)
+		if err != nil {
+			c.health.Breaker(addr).Failure()
+			lastErr = err
+			continue
+		}
+		c.conn, c.connAddr = conn, addr
+		return conn, addr, nil
 	}
-	c.conn = conn
-	return conn, nil
+	if lastErr == nil {
+		lastErr = health.ErrNoLiveEndpoint
+	}
+	return nil, "", lastErr
 }
 
 // drop closes conn and forgets it if it is still the cached connection
@@ -171,7 +234,7 @@ func (c *StdClient) checkout(ctx context.Context) (transport.Conn, error) {
 func (c *StdClient) drop(conn transport.Conn) {
 	c.mu.Lock()
 	if c.conn == conn {
-		c.conn = nil
+		c.conn, c.connAddr = nil, ""
 	}
 	c.mu.Unlock()
 	_ = conn.Close()
@@ -183,7 +246,7 @@ func (c *StdClient) Close() error {
 	defer c.mu.Unlock()
 	if c.conn != nil {
 		err := c.conn.Close()
-		c.conn = nil
+		c.conn, c.connAddr = nil, ""
 		return err
 	}
 	return nil
@@ -343,6 +406,10 @@ type Resolver struct {
 	// coalesced counts lookups that joined another caller's in-progress
 	// backend fetch (cache_coalesced_total{cache=...}).
 	coalesced *metrics.Counter
+	// staleFor, when positive, lets Lookup answer from expired entries up
+	// to that long past expiry when the backend is unreachable (RFC
+	// 8767-style serve-stale). Zero disables degraded mode.
+	staleFor time.Duration
 }
 
 // ResolverConfig configures NewResolver.
@@ -370,6 +437,12 @@ type ResolverConfig struct {
 	Metrics *metrics.Registry
 	// CacheName labels this resolver's series (e.g. "meta").
 	CacheName string
+	// StaleFor, when positive, enables serve-stale degraded mode: if the
+	// backend (every replica of it) is unreachable, Lookup may answer
+	// from an expired cache entry up to StaleFor past its expiry. Served
+	// answers count in cache_stale_served_total and in the request's
+	// CallCounter. Zero keeps strict TTL semantics.
+	StaleFor time.Duration
 }
 
 // NewResolver creates a caching resolver over backend.
@@ -381,12 +454,16 @@ func NewResolver(backend Lookuper, model *simtime.Model, cfg ResolverConfig) *Re
 		return cache.New[[]RR](cfg.Clock, cfg.MaxEntries)
 	}
 	r := &Resolver{
-		backend: backend,
-		model:   model,
-		mode:    cfg.Mode,
-		style:   cfg.Style,
-		cache:   newCache(),
-		negTTL:  cfg.NegativeTTL,
+		backend:  backend,
+		model:    model,
+		mode:     cfg.Mode,
+		style:    cfg.Style,
+		cache:    newCache(),
+		negTTL:   cfg.NegativeTTL,
+		staleFor: cfg.StaleFor,
+	}
+	if cfg.StaleFor > 0 {
+		r.cache.SetStaleGrace(cfg.StaleFor)
 	}
 	if cfg.NegativeTTL > 0 {
 		r.neg = cache.New[*NotFoundError](cfg.Clock, cfg.MaxEntries)
@@ -491,12 +568,35 @@ func (r *Resolver) Lookup(ctx context.Context, name string, t RRType) ([]RR, err
 	// cost any one client experiences.
 	simtime.Charge(ctx, cost)
 	if err != nil {
+		if rrs, ok := r.staleLookup(ctx, key, err); ok {
+			return rrs, nil
+		}
 		return nil, err
 	}
 	if joined {
 		rrs = copyRRs(rrs)
 	}
 	return rrs, nil
+}
+
+// staleLookup is the serve-stale fallback: when a backend lookup failed
+// because the backend was unreachable (not a NotFound, not a remote
+// fault), answer from an expired cache entry still within the stale
+// grace. The hit is priced like any other cache hit, counted in
+// cache_stale_served_total (via the cache's stats) and flagged on the
+// request's CallCounter so callers can mark the answer as possibly out
+// of date.
+func (r *Resolver) staleLookup(ctx context.Context, key string, cause error) ([]RR, bool) {
+	if r.staleFor <= 0 || !hrpc.Unavailable(cause) {
+		return nil, false
+	}
+	rrs, ok := r.cache.GetStale(key)
+	if !ok {
+		return nil, false
+	}
+	r.chargeHit(ctx, len(rrs))
+	metrics.CallCounterFrom(ctx).AddStale()
+	return copyRRs(rrs), true
 }
 
 func (r *Resolver) chargeHit(ctx context.Context, n int) {

@@ -37,11 +37,12 @@ import (
 
 // Stats reports cache effectiveness counters.
 type Stats struct {
-	Hits     int64
-	Misses   int64
-	Expired  int64 // misses caused by TTL expiry of a present entry
-	Evicted  int64 // entries discarded by the LRU bound
-	Preloads int64 // entries installed by bulk preload
+	Hits        int64
+	Misses      int64
+	Expired     int64 // misses caused by TTL expiry of a present entry
+	Evicted     int64 // entries discarded by the LRU bound
+	Preloads    int64 // entries installed by bulk preload
+	StaleServed int64 // expired entries handed out by GetStale (degraded mode)
 }
 
 // HitRate returns hits/(hits+misses), or 0 with no accesses. This is the
@@ -60,6 +61,7 @@ func (s *Stats) add(o Stats) {
 	s.Expired += o.Expired
 	s.Evicted += o.Evicted
 	s.Preloads += o.Preloads
+	s.StaleServed += o.StaleServed
 }
 
 type entry[V any] struct {
@@ -94,9 +96,10 @@ const maxShards = 256
 // TTL is a TTL + LRU cache. The zero value is not usable; call New.
 // TTL is safe for concurrent use.
 type TTL[V any] struct {
-	clock simtime.Clock
-	max   int // 0 = unbounded
-	mask  uint32
+	clock  simtime.Clock
+	max    int // 0 = unbounded
+	mask   uint32
+	stale  time.Duration // grace period expired entries remain servable via GetStale
 	shards []*shard[V]
 
 	// lockWaits counts shard-lock acquisitions that found the lock held
@@ -200,8 +203,23 @@ func (c *TTL[V]) lock(s *shard[V]) {
 // LockWaits reports how many shard-lock acquisitions found the lock held.
 func (c *TTL[V]) LockWaits() int64 { return c.lockWaits.Load() }
 
-// Get returns the live entry for key. Expired entries count as misses and
-// are removed.
+// SetStaleGrace makes expired entries linger for grace past their expiry,
+// servable through GetStale — RFC 8767's "serve stale" degraded mode. It
+// must be set before the cache sees concurrent use (it reconfigures expiry
+// handling, not a per-call option). Zero (the default) removes expired
+// entries on access exactly as before.
+func (c *TTL[V]) SetStaleGrace(grace time.Duration) {
+	if grace < 0 {
+		grace = 0
+	}
+	c.stale = grace
+}
+
+// StaleGrace reports the configured serve-stale grace period.
+func (c *TTL[V]) StaleGrace() time.Duration { return c.stale }
+
+// Get returns the live entry for key. Expired entries count as misses;
+// they are removed unless a stale grace keeps them servable via GetStale.
 func (c *TTL[V]) Get(key string) (V, bool) {
 	s := c.shardFor(key)
 	c.lock(s)
@@ -212,8 +230,10 @@ func (c *TTL[V]) Get(key string) (V, bool) {
 		var zero V
 		return zero, false
 	}
-	if !c.clock.Now().Before(e.expires) {
-		s.removeLocked(e)
+	if now := c.clock.Now(); !now.Before(e.expires) {
+		if c.stale <= 0 || !now.Before(e.expires.Add(c.stale)) {
+			s.removeLocked(e)
+		}
 		s.stats.Misses++
 		s.stats.Expired++
 		var zero V
@@ -221,6 +241,32 @@ func (c *TTL[V]) Get(key string) (V, bool) {
 	}
 	s.order.MoveToFront(e.elem)
 	s.stats.Hits++
+	return e.value, true
+}
+
+// GetStale returns the entry for key even if expired, as long as it is
+// within the stale grace period — the degraded-mode answer when every
+// backend replica is down. Served entries count in Stats.StaleServed.
+// Live entries are returned too (counting as stale only when actually
+// expired). Returns false with no grace configured and the entry expired.
+func (c *TTL[V]) GetStale(key string) (V, bool) {
+	s := c.shardFor(key)
+	c.lock(s)
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	now := c.clock.Now()
+	if now.Before(e.expires) {
+		return e.value, true
+	}
+	if c.stale <= 0 || !now.Before(e.expires.Add(c.stale)) {
+		var zero V
+		return zero, false
+	}
+	s.stats.StaleServed++
 	return e.value, true
 }
 
@@ -312,7 +358,9 @@ func (c *TTL[V]) Sweep() int {
 	for _, s := range c.shards {
 		c.lock(s)
 		for _, e := range s.entries {
-			if !now.Before(e.expires) {
+			// With a stale grace configured, expired-but-graced entries
+			// stay servable for degraded mode; only truly dead ones go.
+			if !now.Before(e.expires.Add(c.stale)) {
 				s.removeLocked(e)
 				dropped++
 			}
@@ -393,6 +441,7 @@ func (c *TTL[V]) Instrument(r *metrics.Registry, name string) {
 	series("cache_expired_total", func(s Stats) int64 { return s.Expired })
 	series("cache_evicted_total", func(s Stats) int64 { return s.Evicted })
 	series("cache_preloads_total", func(s Stats) int64 { return s.Preloads })
+	series("cache_stale_served_total", func(s Stats) int64 { return s.StaleServed })
 	r.GaugeFunc(metrics.Labels("cache_entries", "cache", name), func() int64 {
 		return int64(c.Len())
 	})

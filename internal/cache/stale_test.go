@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"testing"
+	"time"
+
+	"hns/internal/simtime"
+)
+
+func TestGetStaleWithinGrace(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	c := New[string](clk, 0)
+	c.SetStaleGrace(time.Hour)
+
+	c.Put("k", "v", time.Minute)
+	clk.Advance(30 * time.Minute) // expired 29 minutes ago, within grace
+
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Get returned an expired entry as live")
+	}
+	v, ok := c.GetStale("k")
+	if !ok || v != "v" {
+		t.Fatalf("GetStale = (%q, %v), want the graced entry", v, ok)
+	}
+	st := c.Stats()
+	if st.StaleServed != 1 {
+		t.Fatalf("StaleServed = %d, want 1", st.StaleServed)
+	}
+	if st.Expired != 1 || st.Misses != 1 {
+		t.Fatalf("Expired/Misses = %d/%d, want 1/1 (Get still counts the miss)", st.Expired, st.Misses)
+	}
+}
+
+func TestGetStaleBeyondGrace(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	c := New[string](clk, 0)
+	c.SetStaleGrace(time.Hour)
+
+	c.Put("k", "v", time.Minute)
+	clk.Advance(2 * time.Hour) // past expiry + grace
+
+	if _, ok := c.GetStale("k"); ok {
+		t.Fatal("GetStale served an entry beyond the grace period")
+	}
+	if c.Stats().StaleServed != 0 {
+		t.Fatal("beyond-grace lookups must not count as stale-served")
+	}
+}
+
+func TestGetStaleWithoutGraceConfigured(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	c := New[string](clk, 0)
+
+	c.Put("k", "v", time.Minute)
+	clk.Advance(2 * time.Minute)
+
+	if _, ok := c.GetStale("k"); ok {
+		t.Fatal("GetStale must refuse expired entries with no grace configured")
+	}
+	// And Get removes the expired entry exactly as before.
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("expired entry returned live")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 (no grace keeps nothing)", c.Len())
+	}
+}
+
+func TestGetStaleReturnsLiveEntryWithoutCounting(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	c := New[string](clk, 0)
+	c.SetStaleGrace(time.Hour)
+
+	c.Put("k", "v", time.Minute)
+	if v, ok := c.GetStale("k"); !ok || v != "v" {
+		t.Fatalf("GetStale on a live entry = (%q, %v)", v, ok)
+	}
+	if c.Stats().StaleServed != 0 {
+		t.Fatal("a live entry is not a stale serve")
+	}
+}
+
+func TestSweepKeepsGracedEntries(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	c := New[string](clk, 0)
+	c.SetStaleGrace(time.Hour)
+
+	c.Put("graced", "v", time.Minute)
+	c.Put("dead", "v", time.Second)
+	// At 60m30s, "dead" (expired at 0m01s) is past expiry+grace while
+	// "graced" (expired at 1m, grace until 61m) is still within it.
+	clk.Advance(60*time.Minute + 30*time.Second)
+	if dropped := c.Sweep(); dropped != 1 {
+		t.Fatalf("Sweep dropped %d, want 1 (only the beyond-grace entry)", dropped)
+	}
+	if _, ok := c.GetStale("graced"); !ok {
+		t.Fatal("Sweep removed a graced entry")
+	}
+}
+
+func TestSweepWithoutGraceDropsExpired(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	c := New[string](clk, 0)
+	c.Put("k", "v", time.Minute)
+	clk.Advance(2 * time.Minute)
+	if dropped := c.Sweep(); dropped != 1 {
+		t.Fatalf("Sweep dropped %d, want 1", dropped)
+	}
+}

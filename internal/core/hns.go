@@ -92,6 +92,12 @@ type Config struct {
 	// contexts stop hammering the meta-BIND. Zero disables negative
 	// caching (the paper's prototype had none).
 	NegativeCacheTTL time.Duration
+	// ServeStale, when positive, enables serve-stale degraded mode on the
+	// meta-cache: if every meta-BIND replica is unreachable, FindNSM's
+	// mapping lookups may answer from expired entries up to ServeStale
+	// past expiry (counted in cache_stale_served_total and
+	// Stats.Cache.StaleServed). Zero keeps strict TTL semantics.
+	ServeStale time.Duration
 	// RPC, when set, lets the HNS fall back to *remote* HostAddress NSMs
 	// for name services with no linked resolver. Without it, such
 	// lookups fail — the prototype always linked its HostAddress NSMs.
@@ -155,6 +161,7 @@ func New(meta *bind.HRPCClient, model *simtime.Model, cfg Config) *HNS {
 			NegativeTTL: cfg.NegativeCacheTTL,
 			Metrics:     reg,
 			CacheName:   "meta",
+			StaleFor:    cfg.ServeStale,
 		}),
 		hostResolvers: make(map[string]HostResolver),
 		instr:         reg.Enabled(),
@@ -492,6 +499,9 @@ type CacheStats struct {
 	NegativeHits int64
 	// LockWaits counts contended meta-cache shard-lock acquisitions.
 	LockWaits int64
+	// StaleServed counts degraded-mode answers from expired entries
+	// (zero unless Config.ServeStale is set).
+	StaleServed int64
 }
 
 // Stats returns a snapshot.
@@ -504,6 +514,7 @@ func (h *HNS) Stats() Stats {
 			Preloads: cs.Preloads, HitRate: cs.HitRate(),
 			NegativeHits: h.resolver.NegativeStats().Hits,
 			LockWaits:    h.resolver.LockWaits(),
+			StaleServed:  cs.StaleServed,
 		},
 	}
 }

@@ -262,6 +262,71 @@ func TestRunConsistency(t *testing.T) {
 	}
 }
 
+func TestRunAvailability(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(563328000, 0))
+	w, err := world.New(world.Config{Clock: clk, CacheMode: bind.CacheMarshalled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	res, err := RunAvailability(context.Background(), w, clk, 1987)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance bar: the workload survives a dead replica — and
+	// here even a total blackout — at ≥ 99% success.
+	if res.SuccessRate < 0.99 {
+		t.Errorf("success rate %.3f, want >= 0.99 (%d/%d failed)",
+			res.SuccessRate, res.Failures, res.Ops)
+	}
+	if res.Ops < 40 {
+		t.Errorf("ops = %d, schedule too small to mean anything", res.Ops)
+	}
+	// Failover discovery is bounded by the breaker threshold: at most
+	// Threshold retransmission waits over baseline, and strictly more
+	// than zero (the first op after the kill must pay something).
+	maxExtra := time.Duration(availThreshold) * 250 * time.Millisecond
+	if res.FailoverExtra <= 0 || res.FailoverExtra > maxExtra+availBudget {
+		t.Errorf("failover extra = %v, want in (0, %v]", res.FailoverExtra, maxExtra+availBudget)
+	}
+	// The blackout phase is carried entirely by serve-stale.
+	if res.StaleServed == 0 {
+		t.Error("no stale serves during the blackout — degraded mode never engaged")
+	}
+	// Breakers must have opened for the primary kill and the blackout.
+	if res.BreakerOpens < 2 {
+		t.Errorf("breaker opens = %d, want >= 2", res.BreakerOpens)
+	}
+	if res.Probes == 0 {
+		t.Error("no half-open probes — recovery was never attempted")
+	}
+	if res.Failovers == 0 {
+		t.Error("no failovers — the secondary never answered")
+	}
+	// Phase shape: steady failover should not cost an order of magnitude
+	// over baseline (the breaker keeps dead-replica waits off the path).
+	for _, p := range res.Phases {
+		if p.Name == "restored" && p.Failures > 0 {
+			t.Errorf("failures after full recovery: %d", p.Failures)
+		}
+	}
+	// Determinism: the same seed replays the same schedule.
+	clk2 := simtime.NewFakeClock(time.Unix(563328000, 0))
+	w2, err := world.New(world.Config{Clock: clk2, CacheMode: bind.CacheMarshalled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	res2, err := RunAvailability(context.Background(), w2, clk2, 1987)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SuccessRate != res.SuccessRate || res2.FailoverExtra != res.FailoverExtra ||
+		res2.StaleServed != res.StaleServed || res2.BreakerOpens != res.BreakerOpens {
+		t.Errorf("same seed diverged: %+v vs %+v", res, res2)
+	}
+}
+
 func TestRunBroadcast(t *testing.T) {
 	w := newWorld(t)
 	points, err := RunBroadcast(context.Background(), w, []int{2, 8, 24})

@@ -1,0 +1,190 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"hns/internal/metrics"
+	"hns/internal/simtime"
+)
+
+func newTestSet(clk simtime.Clock) (*Set, *metrics.Registry) {
+	reg := metrics.NewRegistry()
+	s := NewSet(Config{
+		Threshold: 3,
+		Cooldown:  10 * time.Second,
+		Clock:     clk,
+		Metrics:   reg,
+		Service:   "test",
+	})
+	return s, reg
+}
+
+func counter(t *testing.T, reg *metrics.Registry, name, endpoint string) int64 {
+	t.Helper()
+	return reg.Counter(metrics.Labels(name, "service", "test", "endpoint", endpoint)).Value()
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	s, reg := newTestSet(clk)
+	b := s.Breaker("a:1")
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("failure %d: breaker refused while under threshold", i)
+		}
+		b.Failure()
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("after 2 failures state = %v, want Closed", got)
+	}
+	b.Failure() // third consecutive failure
+	if got := b.State(); got != Open {
+		t.Fatalf("after 3 failures state = %v, want Open", got)
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	if got := counter(t, reg, "breaker_opens_total", "a:1"); got != 1 {
+		t.Fatalf("breaker_opens_total = %d, want 1", got)
+	}
+	if got := reg.Gauge(metrics.Labels("endpoint_health", "service", "test", "endpoint", "a:1")).Value(); got != 0 {
+		t.Fatalf("endpoint_health = %d, want 0 while open", got)
+	}
+}
+
+func TestSuccessResetsConsecutiveFailures(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	s, _ := newTestSet(clk)
+	b := s.Breaker("a:1")
+
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != Closed {
+		t.Fatalf("interleaved success should reset the streak; state = %v", got)
+	}
+}
+
+func TestHalfOpenProbeAdmitsExactlyOne(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	s, reg := newTestSet(clk)
+	b := s.Breaker("a:1")
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.Advance(10 * time.Second)
+
+	ok, probe := b.Allow()
+	if !ok || !probe {
+		t.Fatalf("post-cooldown Allow = (%v, %v), want probe admission", ok, probe)
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state = %v, want HalfOpen", got)
+	}
+	// A second caller while the probe is in flight is refused.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("half-open breaker admitted a second caller during the probe")
+	}
+	if got := counter(t, reg, "breaker_probes_total", "a:1"); got != 1 {
+		t.Fatalf("breaker_probes_total = %d, want 1", got)
+	}
+}
+
+func TestProbeSuccessCloses(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	s, _ := newTestSet(clk)
+	b := s.Breaker("a:1")
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.Advance(10 * time.Second)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("expected probe admission")
+	}
+	b.Success()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state after probe success = %v, want Closed", got)
+	}
+	if ok, probe := b.Allow(); !ok || probe {
+		t.Fatalf("closed breaker Allow = (%v, %v), want plain admission", ok, probe)
+	}
+}
+
+func TestProbeFailureReopensAndRestartsCooldown(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	s, reg := newTestSet(clk)
+	b := s.Breaker("a:1")
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	clk.Advance(10 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("expected probe admission")
+	}
+	b.Failure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state after probe failure = %v, want Open", got)
+	}
+	// Cooldown restarted at the probe failure: still refused short of it.
+	clk.Advance(9 * time.Second)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("reopened breaker admitted a call before the new cooldown elapsed")
+	}
+	clk.Advance(time.Second)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("expected a second probe after the restarted cooldown")
+	}
+	if got := counter(t, reg, "breaker_opens_total", "a:1"); got != 2 {
+		t.Fatalf("breaker_opens_total = %d, want 2 (initial open + probe failure)", got)
+	}
+}
+
+func TestSetSharesBreakerPerEndpoint(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	s, _ := newTestSet(clk)
+	if s.Breaker("a:1") != s.Breaker("a:1") {
+		t.Fatal("same endpoint should return the same breaker")
+	}
+	if s.Breaker("a:1") == s.Breaker("b:1") {
+		t.Fatal("distinct endpoints should get distinct breakers")
+	}
+}
+
+func TestDiscardMetricsAreNoOp(t *testing.T) {
+	s := NewSet(Config{Metrics: metrics.Discard})
+	b := s.Breaker("a:1")
+	b.Failure()
+	b.Success()
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("breaker logic should work with Discard metrics")
+	}
+}
+
+func TestConcurrentBreakerAccess(t *testing.T) {
+	clk := simtime.NewFakeClock(time.Unix(0, 0))
+	s, _ := newTestSet(clk)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			b := s.Breaker("shared:1")
+			for i := 0; i < 200; i++ {
+				if ok, _ := b.Allow(); ok {
+					if (g+i)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				clk.Advance(time.Second)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

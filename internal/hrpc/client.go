@@ -4,9 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"hns/internal/health"
 	"hns/internal/marshal"
 	"hns/internal/metrics"
 	"hns/internal/simtime"
@@ -40,8 +44,93 @@ type Client struct {
 	// Set before first use.
 	Metrics *metrics.Registry
 
+	// Policy bounds the retransmission discipline per call. The zero
+	// value derives its budget from Retries so legacy configuration
+	// keeps its exact cost behavior. Set before first use.
+	Policy RetryPolicy
+
+	// Health parameterizes the per-endpoint circuit breakers. The zero
+	// value uses the package defaults with real time. Set before first
+	// use.
+	Health health.Config
+
 	mu    sync.Mutex
 	conns map[string]transport.Conn
+
+	repMu    sync.RWMutex
+	replicas map[string][]string // primary addr → ordered replica set
+
+	healthOnce sync.Once
+	healthSet  *health.Set
+}
+
+// RetryPolicy bounds how long one call may spend detecting and retrying
+// transport-level losses. All durations are simulated time, charged to
+// the caller's meter exactly as the waits they model.
+type RetryPolicy struct {
+	// Budget caps the total retransmission wait one call may charge.
+	// When the next backoff would exceed what remains, the call charges
+	// the remainder and fails with ErrCallTimeout — a blackout costs
+	// exactly Budget, never more. Non-positive means Retries × the
+	// model's retransmission timeout (the legacy discipline's cost).
+	Budget time.Duration
+
+	// Base is the first retransmission timeout. Non-positive means the
+	// model's RetransmitTimeout. The first wait is exactly Base —
+	// deterministic, so calibrated costs stay reproducible.
+	Base time.Duration
+
+	// Max caps the exponential backoff. Non-positive means 4 × Base.
+	Max time.Duration
+
+	// Jitter, in (0, 1], spreads backoffs ±Jitter fraction around the
+	// exponential schedule from the second wait on. The spread is a
+	// deterministic hash of (endpoint, attempt) — reproducible runs,
+	// no shared randomness. Zero disables jitter.
+	Jitter float64
+}
+
+// SetReplicas installs an ordered replica set for calls bound to
+// primary: the primary is tried first, then each replica in order as
+// breakers take endpoints out of rotation. The Binding itself is
+// untouched (it stays a comparable value and its wire form is
+// unchanged); replica routing is client configuration.
+func (c *Client) SetReplicas(primary string, replicas ...string) {
+	set := append([]string{primary}, replicas...)
+	c.repMu.Lock()
+	defer c.repMu.Unlock()
+	if c.replicas == nil {
+		c.replicas = make(map[string][]string)
+	}
+	c.replicas[primary] = set
+}
+
+// replicasFor resolves the replica set for addr; a single-element set
+// (just addr) when none was configured.
+func (c *Client) replicasFor(addr string) []string {
+	c.repMu.RLock()
+	set := c.replicas[addr]
+	c.repMu.RUnlock()
+	if set == nil {
+		return []string{addr}
+	}
+	return set
+}
+
+// breakers returns the client's breaker set, building it on first use
+// from c.Health.
+func (c *Client) breakers() *health.Set {
+	c.healthOnce.Do(func() {
+		cfg := c.Health
+		if cfg.Metrics == nil {
+			cfg.Metrics = c.registry()
+		}
+		if cfg.Service == "" {
+			cfg.Service = "hrpc"
+		}
+		c.healthSet = health.NewSet(cfg)
+	})
+	return c.healthSet
 }
 
 // registry resolves the effective metrics registry.
@@ -156,6 +245,55 @@ func (c *Client) Call(ctx context.Context, b Binding, p Procedure, args marshal.
 	return ret, nil
 }
 
+// ErrCallTimeout is matched (errors.Is) by the error roundTrip returns
+// when a call exhausts its retry budget or no replica's breaker admits
+// it — "backend unreachable", as distinguished from marshalling errors
+// and remote faults. The concrete error is a *CallTimeout.
+var ErrCallTimeout = errors.New("hrpc: call timed out")
+
+// CallTimeout is the exhausted-retry error: every admitted endpoint
+// failed (or none was admitted) within the call's budget. It wraps the
+// last transport error, so errors.Is still sees the underlying cause
+// (transport.ErrInjectedLoss, transport.ErrRefused, ...).
+type CallTimeout struct {
+	Addr     string // the binding's (primary) address
+	Attempts int    // exchanges attempted before giving up
+	LastErr  error  // last transport error; nil when breakers refused every endpoint
+}
+
+// Error implements error.
+func (e *CallTimeout) Error() string {
+	if e.LastErr == nil {
+		return fmt.Sprintf("hrpc: call to %s timed out: no live endpoint", e.Addr)
+	}
+	return fmt.Sprintf("hrpc: call to %s timed out after %d attempts: %v", e.Addr, e.Attempts, e.LastErr)
+}
+
+// Unwrap exposes the last transport error to errors.Is/As.
+func (e *CallTimeout) Unwrap() error { return e.LastErr }
+
+// Is matches the ErrCallTimeout sentinel.
+func (e *CallTimeout) Is(target error) bool { return target == ErrCallTimeout }
+
+// Unavailable reports whether err means the backend could not be
+// reached: the call timed out, no replica was live, or the transport
+// failed outright. It is false for remote faults and remote errors — a
+// live server answering, however unhelpfully, is not an availability
+// failure. Serve-stale logic keys off this predicate.
+func Unavailable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var rf *RemoteFault
+	if errors.As(err, &rf) {
+		return false
+	}
+	if errors.Is(err, ErrCallTimeout) || errors.Is(err, health.ErrNoLiveEndpoint) {
+		return true
+	}
+	return transport.Unavailable(err)
+}
+
 // errKind buckets a call error for hrpc_client_errors_total.
 func errKind(err error) string {
 	var rf *RemoteFault
@@ -166,35 +304,166 @@ func errKind(err error) string {
 	if errors.As(err, &re) {
 		return "remote_error"
 	}
+	if errors.Is(err, ErrCallTimeout) {
+		return "timeout"
+	}
 	return "transport"
 }
 
-// roundTrip sends one frame, retransmitting after transport-level losses
-// up to c.Retries times (each retry first charges the retransmission
-// timeout the caller would have sat through).
+// timeoutClass reports whether err looks like a silent loss — the
+// caller sat out a retransmission timer to detect it — rather than a
+// fast failure (refused, closed) the caller learned about immediately.
+// Only timeout-class failures charge backoff to the caller's meter.
+func timeoutClass(err error) bool {
+	if errors.Is(err, transport.ErrInjectedLoss) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// jitterScale returns the deterministic jitter multiplier for the
+// attempt-th backoff against endpoint: 1 ± j, derived from a hash so
+// identical runs charge identical costs.
+func jitterScale(endpoint string, attempt int, j float64) float64 {
+	if j <= 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	h.Write([]byte(endpoint))
+	v := h.Sum64() ^ uint64(attempt)*0x9E3779B97F4A7C15
+	v ^= v >> 33
+	v *= 0xFF51AFD7ED558CCD
+	v ^= v >> 33
+	u := float64(v>>11) / float64(uint64(1)<<53)
+	return 1 + j*(2*u-1)
+}
+
+// roundTrip sends one frame to the first live endpoint of addr's replica
+// set, retransmitting after transport-level losses and failing over as
+// breakers take endpoints out of rotation, within the policy's budget.
+//
+// Cost discipline: a timeout-class failure charges the current backoff
+// (the wait the caller sat through to detect the loss), capped so the
+// total charged wait never exceeds the budget; fast failures (refused,
+// open breaker) charge nothing. With a single replica and the legacy
+// Retries configuration this charges exactly what the old fixed-count
+// loop did, so calibrated Table 3.1 costs are unchanged.
 func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr string, frame []byte) ([]byte, error) {
 	reg := c.registry()
-	var lastErr error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
-		if attempt > 0 {
-			simtime.Charge(ctx, c.net.Model().RetransmitTimeout)
-			reg.Counter("hrpc_client_retries_total").Inc()
+	model := c.net.Model()
+	replicas := c.replicasFor(addr)
+	hs := c.breakers()
+
+	base := c.Policy.Base
+	if base <= 0 {
+		base = model.RetransmitTimeout
+	}
+	maxWait := c.Policy.Max
+	if maxWait <= 0 {
+		maxWait = 4 * base
+	}
+	remaining := c.Policy.Budget
+	if remaining <= 0 {
+		remaining = time.Duration(c.Retries) * model.RetransmitTimeout
+	}
+
+	var (
+		lastErr  error
+		attempts int
+		waits    int    // timeout-class failures so far (backoff schedule position)
+		tried    uint64 // bitmask of replica indexes that failed this call
+		rawWait  = base // unjittered next backoff
+	)
+	for {
+		// Choose an endpoint: the first untried replica whose breaker
+		// admits the call; failing that — only after a timeout-class
+		// failure, where a retransmission can plausibly get through —
+		// the first admitted replica again. Fast failures (refused) are
+		// deterministic, so re-dialing the same dead endpoint within
+		// one call is pointless.
+		idx := -1
+		for i, ep := range replicas {
+			if i < 64 && tried&(1<<uint(i)) != 0 {
+				continue
+			}
+			if ok, _ := hs.Breaker(ep).Allow(); ok {
+				idx = i
+				break
+			}
 		}
-		resp, err := c.sendOnce(ctx, tr, addr, frame)
+		if idx < 0 && timeoutClass(lastErr) {
+			for i, ep := range replicas {
+				if ok, _ := hs.Breaker(ep).Allow(); ok {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			// No breaker admits the call: fail fast, charging nothing —
+			// the point of knowing an endpoint is dead is not waiting
+			// on it.
+			reg.Counter("hrpc_client_failfast_total").Inc()
+			if lastErr == nil {
+				lastErr = health.ErrNoLiveEndpoint
+			}
+			return nil, &CallTimeout{Addr: addr, Attempts: attempts, LastErr: lastErr}
+		}
+		ep := replicas[idx]
+
+		resp, err := c.sendOnce(ctx, tr, ep, frame)
+		attempts++
 		if err == nil {
+			hs.Breaker(ep).Success()
+			if ep != addr {
+				reg.Counter("hrpc_client_failovers_total").Inc()
+			}
 			return resp, nil
 		}
 		// A RemoteError is a live server saying no; retransmitting
-		// cannot help. A dead context likewise.
+		// cannot help, and the endpoint is healthy.
 		var re *transport.RemoteError
-		if errors.As(err, &re) || ctx.Err() != nil {
+		if errors.As(err, &re) {
+			hs.Breaker(ep).Success()
 			return nil, err
 		}
+		// A dead context: surface immediately, charging nothing — the
+		// caller gave up, not the endpoint.
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		hs.Breaker(ep).Failure()
+		if idx < 64 {
+			tried |= 1 << uint(idx)
+		}
 		lastErr = err
+
+		if !timeoutClass(err) {
+			continue // fast failure: fail over without waiting
+		}
+		// The caller sat out the retransmission timer to detect this
+		// loss: charge it, bounded by the per-call budget.
+		waits++
+		wait := rawWait
+		if waits > 1 {
+			wait = time.Duration(float64(rawWait) * jitterScale(ep, waits, c.Policy.Jitter))
+		}
+		if wait > remaining {
+			simtime.Charge(ctx, remaining)
+			reg.Counter("hrpc_client_timeouts_total").Inc()
+			return nil, &CallTimeout{Addr: addr, Attempts: attempts, LastErr: err}
+		}
+		simtime.Charge(ctx, wait)
+		remaining -= wait
+		reg.Counter("hrpc_client_retries_total").Inc()
+		if rawWait < maxWait {
+			rawWait *= 2
+			if rawWait > maxWait {
+				rawWait = maxWait
+			}
+		}
 	}
-	// Every retransmission was lost too: the call timed out for good.
-	reg.Counter("hrpc_client_timeouts_total").Inc()
-	return nil, lastErr
 }
 
 // sendOnce performs a single exchange over a cached connection, redialing

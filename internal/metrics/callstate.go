@@ -13,6 +13,7 @@ import (
 type CallCounter struct {
 	misses    atomic.Int64
 	coalesced atomic.Int64
+	stale     atomic.Int64
 }
 
 // AddMiss records one backend fetch. No-op on a nil receiver, so layers
@@ -47,6 +48,24 @@ func (c *CallCounter) Coalesced() int64 {
 		return 0
 	}
 	return c.coalesced.Load()
+}
+
+// AddStale records a lookup answered from an expired cache entry because
+// every backend replica was unreachable — the serve-stale degraded mode.
+// The answer is real but possibly out of date; callers inspect Stale()
+// to flag the response.
+func (c *CallCounter) AddStale() {
+	if c != nil {
+		c.stale.Add(1)
+	}
+}
+
+// Stale reports how many of this call's answers were served stale.
+func (c *CallCounter) Stale() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.stale.Load()
 }
 
 type callCounterKey struct{}

@@ -94,6 +94,11 @@ func (h *HostAddr) ResolveHost(ctx context.Context, individual string) (string, 
 	}
 	addr, err := h.lookup(ctx, individual)
 	if err != nil {
+		// Degraded mode: an unreachable name service may be answered
+		// from an expired entry within the configured stale grace.
+		if stale, ok := h.cache.getStale(ctx, individual, err); ok {
+			return stale, nil
+		}
 		return "", err
 	}
 	h.cache.put(individual, addr)

@@ -30,6 +30,7 @@ import (
 	"hns/internal/cache"
 	"hns/internal/hrpc"
 	"hns/internal/marshal"
+	"hns/internal/metrics"
 	"hns/internal/names"
 	"hns/internal/qclass"
 	"hns/internal/simtime"
@@ -60,6 +61,11 @@ type Options struct {
 	Clock simtime.Clock
 	// MaxEntries bounds the cache; 0 = unbounded.
 	MaxEntries int
+	// StaleFor, when positive, enables serve-stale degraded mode: when
+	// the underlying name service is unreachable, the NSM may answer
+	// from an expired cache entry up to StaleFor past its expiry. Zero
+	// keeps strict TTL semantics.
+	StaleFor time.Duration
 }
 
 func (o Options) ttl() time.Duration {
@@ -75,16 +81,22 @@ type resultCache[V any] struct {
 	model *simtime.Model
 	mode  bind.CacheMode
 	ttl   time.Duration
+	stale time.Duration
 	c     *cache.TTL[V]
 }
 
 func newResultCache[V any](model *simtime.Model, o Options) *resultCache[V] {
-	return &resultCache[V]{
+	rc := &resultCache[V]{
 		model: model,
 		mode:  o.CacheMode,
 		ttl:   o.ttl(),
+		stale: o.StaleFor,
 		c:     cache.New[V](o.Clock, o.MaxEntries),
 	}
+	if o.StaleFor > 0 {
+		rc.c.SetStaleGrace(o.StaleFor)
+	}
+	return rc
 }
 
 // get probes the cache, charging the mode-appropriate hit cost.
@@ -104,6 +116,30 @@ func (rc *resultCache[V]) get(ctx context.Context, key string) (V, bool) {
 }
 
 func (rc *resultCache[V]) put(key string, v V) { rc.c.Put(key, v, rc.ttl) }
+
+// getStale is the serve-stale fallback: when a lookup failed because the
+// underlying service was unreachable (cause is an availability error,
+// not a semantic one), answer from an expired entry still within the
+// stale grace. The hit is priced like a normal hit and flagged on the
+// request's CallCounter.
+func (rc *resultCache[V]) getStale(ctx context.Context, key string, cause error) (V, bool) {
+	var zero V
+	if rc.stale <= 0 || !hrpc.Unavailable(cause) {
+		return zero, false
+	}
+	v, ok := rc.c.GetStale(key)
+	if !ok {
+		return zero, false
+	}
+	if rc.mode == bind.CacheMarshalled {
+		marshal.ChargeRecords(ctx, rc.model, marshal.StyleGenerated, 1)
+		simtime.Charge(ctx, rc.model.CacheHit(0))
+	} else {
+		simtime.Charge(ctx, rc.model.CacheHit(1))
+	}
+	metrics.CallCounterFrom(ctx).AddStale()
+	return v, true
+}
 
 func (rc *resultCache[V]) stats() cache.Stats { return rc.c.Stats() }
 

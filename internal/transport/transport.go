@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sort"
 	"sync"
 
@@ -82,6 +83,26 @@ var ErrRefused = errors.New("transport: connection refused")
 
 // ErrClosed reports use of a closed connection or listener.
 var ErrClosed = errors.New("transport: closed")
+
+// Unavailable reports whether err means the peer could not be reached at
+// all — refused, closed, lost in transit, or a socket-level failure — as
+// opposed to a live server answering with an error. It is the predicate
+// behind failover and serve-stale decisions: only an unreachable backend
+// justifies trying a replica or answering from an expired cache entry.
+func Unavailable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, ErrRefused) || errors.Is(err, ErrClosed) || errors.Is(err, ErrInjectedLoss) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
 
 // Network is the environment a set of transports lives in: the cost model
 // plus the in-process endpoint table the simulated transports deliver

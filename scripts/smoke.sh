@@ -19,6 +19,9 @@ echo "--- race detector, concurrency stress at -cpu 4"
 go test -race -cpu 4 -run 'Stress|Stampede|Concurrent|Shard|Parallel' \
         . ./internal/cache ./internal/bind ./internal/workload
 
+echo "--- chaos tier: seeded failure injection (make chaos)"
+make chaos
+
 go build -o "$workdir" ./cmd/...
 
 cat > "$workdir/app.zone" <<'EOF'
@@ -28,6 +31,12 @@ EOF
 
 cd "$workdir"
 ./bindd -host tahoma -zone hns -update -hrpc 127.0.0.1:5301 -std "" >meta.log 2>&1 &
+meta_pid=$!
+echo $meta_pid >> pids
+# A secondary meta BIND: mirrors the hns zone from tahoma by zone
+# transfer, so the federation survives the primary's death (part 3).
+./bindd -host tahoma2 -zone hns -secondary 127.0.0.1:5301 -refresh 1s \
+        -hrpc 127.0.0.1:5311 -std "" >meta2.log 2>&1 &
 echo $! >> pids
 ./bindd -host fiji -zone cs.washington.edu -update -records app.zone \
         -hrpc 127.0.0.1:5304 -std 127.0.0.1:5302 >app.log 2>&1 &
@@ -37,7 +46,8 @@ echo $! >> pids
 ./nsmd -type hostaddr-bind -ns bind-cs -bind-std 127.0.0.1:5302 \
        -addr 127.0.0.1:5320 >nsm.log 2>&1 &
 echo $! >> pids
-./hnsd -addr 127.0.0.1:5310 -meta 127.0.0.1:5301 -metrics 127.0.0.1:5390 \
+./hnsd -addr 127.0.0.1:5310 -meta 127.0.0.1:5301 -meta-replica 127.0.0.1:5311 \
+       -serve-stale 1h -metrics 127.0.0.1:5390 \
        -link-bind bind-cs=127.0.0.1:5302 >hns.log 2>&1 &
 echo $! >> pids
 sleep 1
@@ -95,5 +105,23 @@ out=$(./hcs file get -hns 127.0.0.1:5310 'hrpcbinding-ch!bigfiles:cs:uw' /notes/
 echo "$out"
 grep -q 'smoke test' <<<"$out" || { echo "SMOKE FAILED: filing"; exit 1; }
 ./hcs file ls -hns 127.0.0.1:5310 'hrpcbinding-ch!bigfiles:cs:uw' /
+
+# ---- Part 3: replica failover. Register one more context, let the
+# secondary transfer it, then kill the primary meta BIND: a resolve that
+# needs the new (uncached) context record must fail over to the secondary.
+./hnsctl register-context -meta 127.0.0.1:5301 hostaddr-bind2 bind-cs
+sleep 1.5
+kill "$meta_pid"
+sleep 0.3
+
+echo "--- resolve with the primary meta BIND dead (failover to the secondary)"
+out=$(./hnsctl resolve -hns 127.0.0.1:5310 hostaddr-bind2 fiji.cs.washington.edu)
+echo "$out"
+grep -q '127.0.0.1' <<<"$out" || { echo "SMOKE FAILED: failover resolve"; exit 1; }
+
+echo "--- breaker state via hnsctl health"
+out=$(./hnsctl health -from 127.0.0.1:5390)
+echo "$out"
+grep -q '127.0.0.1:5311' <<<"$out" || { echo "SMOKE FAILED: health lacks the secondary meta endpoint"; exit 1; }
 
 echo "SMOKE OK"
