@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-parallel fuzz smoke chaos examples harness regen outputs
+.PHONY: all build vet test race bench bench-parallel bench-alloc fuzz smoke chaos examples harness regen outputs
 
 all: build vet test
 
@@ -23,6 +23,12 @@ bench:
 # throughput, and the cache/resolver contention micro-benchmarks.
 bench-parallel:
 	go test -bench 'Parallel|Throughput|ShardContention|CacheKey' -benchmem -run NONE ./...
+
+# Allocation gate: the warm wire path (frame encode/decode) and the warm
+# binding-cached FindNSM must stay at <=1 alloc/op. `-update` refreshes the
+# BENCH_wire.json baseline after an intentional change.
+bench-alloc:
+	./scripts/bench_alloc.sh
 
 # Short exploratory fuzzing over every wire codec.
 fuzz:

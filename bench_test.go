@@ -275,6 +275,32 @@ func BenchmarkFindNSM(b *testing.B) {
 	})
 }
 
+// BenchmarkFindNSMWarmAllocs pins the warm FindNSM's heap behaviour: with
+// the resolved-binding cache on and instrumentation off, a repeat call is
+// one cache-key build plus a probe — at most 1 alloc/op, enforced by the
+// bench-alloc gate (scripts/bench_alloc.sh). Wall-clock only; sim cost of
+// the binding-cache arrangement is covered by the replycache experiment.
+func BenchmarkFindNSMWarmAllocs(b *testing.B) {
+	w := newBenchWorld(b)
+	ctx := context.Background()
+	name := world.DesiredServiceName()
+	h := w.NewHNS(core.Config{
+		CacheMode:       bind.CacheDemarshalled,
+		Metrics:         metrics.Discard,
+		BindingCacheTTL: time.Hour,
+	})
+	if _, err := h.FindNSM(ctx, name, qclass.HRPCBinding); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := h.FindNSM(ctx, name, qclass.HRPCBinding); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- Observability guard: instrumentation overhead on the warm path.
 //
 // The metrics layer must be effectively free where it matters most: the

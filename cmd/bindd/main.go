@@ -59,6 +59,7 @@ func main() {
 		metrAddr = flag.String("metrics", "", "serve /metrics and /debug/hns on this address (empty disables)")
 		secAddr  = flag.String("secondary", "", "mirror the zone from this primary bindd HRPC address (TCP) instead of serving authoritatively")
 		refresh  = flag.Duration("refresh", 30*time.Second, "serial-check interval in -secondary mode")
+		replyTTL = flag.Duration("reply-cache", 0, "answer repeat identical requests from cached pre-marshalled replies for this long (0 disables); invalidated on update and zone transfer")
 	)
 	flag.Var(&zones, "zone", "zone origin to be authoritative for (repeatable)")
 	flag.Parse()
@@ -121,6 +122,10 @@ func main() {
 					if err != nil {
 						log.Printf("bindd: refresh: %v", err)
 					} else if moved {
+						// Transfers load the zone directly, below the
+						// server's update hooks — drop cached replies so
+						// the new contents are visible immediately.
+						srv.InvalidateReplies()
 						log.Printf("bindd: transferred %s at serial %d", zones[0], sec.Serial())
 					}
 				case <-stop:
@@ -154,6 +159,11 @@ func main() {
 			}
 			log.Printf("bindd: loaded %d records from %s", len(rrs), *records)
 		}
+	}
+
+	if *replyTTL > 0 {
+		srv.EnableReplyCache(nil, *replyTTL, 0)
+		log.Printf("bindd: reply cache enabled, ttl %s", *replyTTL)
 	}
 
 	hrpcLn, binding, err := hrpc.Serve(net, srv.HRPCServer(), hrpc.SuiteRawNet, *host, *hrpcAddr)

@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"hns/internal/bind"
@@ -32,17 +34,43 @@ import (
 
 func main() {
 	var (
-		table  = flag.String("table", "", `table to regenerate ("3.1" or "3.2")`)
-		figure = flag.String("figure", "", `figure to regenerate ("2.1")`)
-		prose  = flag.String("prose", "", "prose measurement (findnsm nsmcall underlying baselines preload breakeven marshalling nsmsize scaling consistency hitratios broadcast throughput)")
-		all    = flag.Bool("all", false, "run everything")
-		check  = flag.Bool("check", false, "regression gate: verify every Table 3.1 cell within ±20% of the paper and exit nonzero otherwise")
+		table      = flag.String("table", "", `table to regenerate ("3.1" or "3.2")`)
+		figure     = flag.String("figure", "", `figure to regenerate ("2.1")`)
+		prose      = flag.String("prose", "", "prose measurement (findnsm nsmcall underlying baselines preload breakeven marshalling nsmsize scaling consistency hitratios broadcast throughput availability replycache)")
+		all        = flag.Bool("all", false, "run everything")
+		check      = flag.Bool("check", false, "regression gate: verify every Table 3.1 cell within ±20% of the paper and exit nonzero otherwise")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to `file` (inspect with go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to `file` on exit (inspect with go tool pprof)")
 	)
 	flag.Parse()
 
 	if !*all && *table == "" && *figure == "" && *prose == "" && !*check {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush accumulated garbage so the profile shows live + alloc_space accurately
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	w, err := world.New(world.Config{CacheMode: bind.CacheMarshalled})
@@ -86,11 +114,12 @@ func main() {
 		"broadcast":    printBroadcast,
 		"throughput":   printThroughput,
 		"availability": printAvailability,
+		"replycache":   printReplyCache,
 	}
 	if *all {
 		for _, name := range []string{"findnsm", "nsmcall", "underlying", "baselines",
 			"preload", "breakeven", "marshalling", "nsmsize", "scaling", "consistency",
-			"hitratios", "broadcast", "throughput", "availability"} {
+			"hitratios", "broadcast", "throughput", "availability", "replycache"} {
 			run("prose "+name, proseRunners[name])
 		}
 	} else if *prose != "" {

@@ -50,6 +50,8 @@ func main() {
 		negTTL    = flag.Duration("neg-ttl", 0, "cache authoritative NotFound answers for this long (0 disables negative caching)")
 		metrAddr  = flag.String("metrics", "", "serve /metrics and /debug/hns on this address (empty disables)")
 		staleFor  = flag.Duration("serve-stale", 0, "serve expired meta-cache entries up to this long past expiry when every meta-BIND replica is down (0 disables)")
+		refrAhead = flag.Float64("refresh-ahead", 0, "refresh meta-cache entries asynchronously once their remaining TTL falls to this fraction of the original (0 disables; try 0.2)")
+		bindTTL   = flag.Duration("binding-cache", 0, "memoize fully resolved FindNSM bindings for this long (0 disables; layered above the meta-cache)")
 		linkBind  stringList
 		linkCH    stringList
 		metaReps  stringList
@@ -91,6 +93,8 @@ func main() {
 		CacheMode:        mode,
 		NegativeCacheTTL: *negTTL,
 		ServeStale:       *staleFor,
+		RefreshAhead:     *refrAhead,
+		BindingCacheTTL:  *bindTTL,
 		RPC:              rpc,
 	})
 

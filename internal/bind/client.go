@@ -410,6 +410,17 @@ type Resolver struct {
 	// to that long past expiry when the backend is unreachable (RFC
 	// 8767-style serve-stale). Zero disables degraded mode.
 	staleFor time.Duration
+	// refreshAhead, when in (0,1), triggers an asynchronous backend
+	// re-fetch for a hit whose remaining lifetime has fallen below that
+	// fraction of its original TTL, so hot entries are renewed before they
+	// expire and the miss cost never lands on a caller. Zero disables it.
+	refreshAhead float64
+	// refreshing guards against piling up refreshes: at most one in-flight
+	// background refresh per key.
+	refreshing sync.Map
+	// refreshes counts launched background refreshes
+	// (cache_refresh_ahead_total{cache=...}); nil when uninstrumented.
+	refreshes *metrics.Counter
 }
 
 // ResolverConfig configures NewResolver.
@@ -443,6 +454,13 @@ type ResolverConfig struct {
 	// answers count in cache_stale_served_total and in the request's
 	// CallCounter. Zero keeps strict TTL semantics.
 	StaleFor time.Duration
+	// RefreshAhead, when in (0,1), enables refresh-ahead: a cache hit
+	// whose remaining lifetime is below RefreshAhead×TTL still answers
+	// immediately but also kicks off one asynchronous backend re-fetch
+	// (per key) that re-installs the entry with a fresh TTL. The refresh
+	// runs on a private discarded meter, so it never perturbs any
+	// caller's simulated cost. Zero (the default) disables it.
+	RefreshAhead float64
 }
 
 // NewResolver creates a caching resolver over backend.
@@ -462,6 +480,9 @@ func NewResolver(backend Lookuper, model *simtime.Model, cfg ResolverConfig) *Re
 		negTTL:   cfg.NegativeTTL,
 		staleFor: cfg.StaleFor,
 	}
+	if cfg.RefreshAhead > 0 && cfg.RefreshAhead < 1 {
+		r.refreshAhead = cfg.RefreshAhead
+	}
 	if cfg.StaleFor > 0 {
 		r.cache.SetStaleGrace(cfg.StaleFor)
 	}
@@ -474,6 +495,8 @@ func NewResolver(backend Lookuper, model *simtime.Model, cfg ResolverConfig) *Re
 			metrics.Labels("cache_demarshal_total", "cache", cfg.CacheName))
 		r.coalesced = cfg.Metrics.Counter(
 			metrics.Labels("cache_coalesced_total", "cache", cfg.CacheName))
+		r.refreshes = cfg.Metrics.Counter(
+			metrics.Labels("cache_refresh_ahead_total", "cache", cfg.CacheName))
 		if r.neg != nil {
 			r.negHits = cfg.Metrics.Counter(
 				metrics.Labels("cache_negative_hits_total", "cache", cfg.CacheName))
@@ -530,8 +553,9 @@ func (r *Resolver) Lookup(ctx context.Context, name string, t RRType) ([]RR, err
 		return nil, err
 	}
 	key := cacheKey(cname, t)
-	if rrs, ok := r.cache.Get(key); ok {
+	if rrs, remaining, original, ok := r.cache.GetWithTTL(key); ok {
 		r.chargeHit(ctx, len(rrs))
+		r.maybeRefreshAhead(key, cname, t, remaining, original)
 		return copyRRs(rrs), nil
 	}
 	if r.neg != nil {
@@ -577,6 +601,35 @@ func (r *Resolver) Lookup(ctx context.Context, name string, t RRType) ([]RR, err
 		rrs = copyRRs(rrs)
 	}
 	return rrs, nil
+}
+
+// maybeRefreshAhead launches one asynchronous backend re-fetch for a hit
+// entry nearing expiry. The refresh runs outside any caller's request: it
+// gets a Background context with a private meter whose cost is discarded,
+// so simulated time is untouched, and a per-key guard keeps concurrent
+// hits on the same cooling entry from stampeding the backend. A failed
+// refresh is simply dropped — the entry expires on schedule and the next
+// miss retries synchronously.
+func (r *Resolver) maybeRefreshAhead(key, cname string, t RRType, remaining, original time.Duration) {
+	if r.refreshAhead <= 0 || original <= 0 {
+		return
+	}
+	if remaining > time.Duration(float64(original)*r.refreshAhead) {
+		return
+	}
+	if _, inFlight := r.refreshing.LoadOrStore(key, struct{}{}); inFlight {
+		return
+	}
+	r.refreshes.Inc()
+	go func() {
+		defer r.refreshing.Delete(key)
+		ctx := simtime.WithMeter(context.Background(), simtime.NewMeter())
+		rrs, err := r.backend.Lookup(ctx, cname, t)
+		if err != nil {
+			return
+		}
+		r.cache.Put(key, copyRRs(rrs), time.Duration(MinTTL(rrs))*time.Second)
+	}()
 }
 
 // staleLookup is the serve-stale fallback: when a backend lookup failed

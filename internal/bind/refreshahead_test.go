@@ -1,0 +1,119 @@
+package bind
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hns/internal/simtime"
+)
+
+// gatedBackend is a Lookuper that counts calls and can block them on a
+// gate channel (nil gate = never blocks).
+type gatedBackend struct {
+	calls atomic.Int64
+	gate  chan struct{}
+	ttl   uint32
+}
+
+func (b *gatedBackend) Lookup(ctx context.Context, name string, t RRType) ([]RR, error) {
+	b.calls.Add(1)
+	if b.gate != nil {
+		<-b.gate
+	}
+	return []RR{A(name, "addr", b.ttl)}, nil
+}
+
+func waitForCalls(t *testing.T, b *gatedBackend, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.calls.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("backend calls = %d, want %d", b.calls.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestResolverRefreshAhead(t *testing.T) {
+	clock := simtime.NewFakeClock(time.Unix(0, 0))
+	backend := &gatedBackend{ttl: 10}
+	r := NewResolver(backend, simtime.Default(), ResolverConfig{
+		Clock:        clock,
+		RefreshAhead: 0.5,
+	})
+	ctx := context.Background()
+
+	if _, err := r.Lookup(ctx, "a.test", TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if backend.calls.Load() != 1 {
+		t.Fatalf("miss made %d backend calls", backend.calls.Load())
+	}
+
+	// Remaining 6s of 10s: above the 0.5 threshold, a plain hit. The
+	// refresh decision is made synchronously, so no call can appear later.
+	clock.Advance(4 * time.Second)
+	if _, err := r.Lookup(ctx, "a.test", TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if backend.calls.Load() != 1 {
+		t.Fatalf("fresh hit refreshed (%d backend calls)", backend.calls.Load())
+	}
+
+	// Remaining 4s: below the threshold. The hit answers immediately and
+	// one background refresh re-installs the entry with a fresh TTL.
+	clock.Advance(2 * time.Second)
+	if _, err := r.Lookup(ctx, "a.test", TypeA); err != nil {
+		t.Fatal(err)
+	}
+	waitForCalls(t, backend, 2)
+
+	// t=10s: past the original expiry — only the refreshed entry (expires
+	// t=16s) can answer without another backend call.
+	clock.Advance(4 * time.Second)
+	if _, err := r.Lookup(ctx, "a.test", TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if backend.calls.Load() != 2 {
+		t.Fatalf("renewed entry missed (%d backend calls)", backend.calls.Load())
+	}
+	st := r.Stats()
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 3 hits 1 miss", st)
+	}
+}
+
+// TestResolverRefreshAheadSingleFlight proves concurrent hits on one
+// cooling entry launch at most one background refresh.
+func TestResolverRefreshAheadSingleFlight(t *testing.T) {
+	clock := simtime.NewFakeClock(time.Unix(0, 0))
+	backend := &gatedBackend{ttl: 10}
+	r := NewResolver(backend, simtime.Default(), ResolverConfig{
+		Clock:        clock,
+		RefreshAhead: 0.5,
+	})
+	ctx := context.Background()
+
+	if _, err := r.Lookup(ctx, "a.test", TypeA); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(6 * time.Second)
+
+	// Hold the refresh open; every further hit must decline to start
+	// another one while it is in flight.
+	backend.gate = make(chan struct{})
+	for i := 0; i < 8; i++ {
+		if _, err := r.Lookup(ctx, "a.test", TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(backend.gate)
+	waitForCalls(t, backend, 2)
+	// Give any extra (buggy) refresh goroutines a moment to show up.
+	time.Sleep(10 * time.Millisecond)
+	if got := backend.calls.Load(); got != 2 {
+		t.Fatalf("refresh stampede: %d backend calls, want 2", got)
+	}
+}

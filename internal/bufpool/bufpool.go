@@ -1,0 +1,89 @@
+// Package bufpool provides sized byte-slice pools for the wire hot path.
+//
+// Every request/reply exchange used to allocate at least three fresh
+// buffers: the request frame, the server's read buffer, and the framed
+// reply. At the traffic volumes the ROADMAP targets those allocations —
+// not the work between them — dominate the garbage collector's share of
+// CPU. This package recycles them: buffers come from sync.Pools bucketed
+// by power-of-two capacity, so a warm exchange reuses the same few arrays
+// indefinitely.
+//
+// Ownership discipline: a buffer obtained from Get is owned by the caller
+// until handed to Put, after which it must not be touched. Put is always
+// optional — a buffer that escapes (stored in a cache, returned across an
+// API boundary that keeps it) is simply left to the garbage collector.
+// That property is what makes pooling safe to thread through code that
+// sometimes retains a buffer: retain it and don't Put, nothing breaks.
+package bufpool
+
+import "sync"
+
+const (
+	// minClassBits is the smallest class, 1<<6 = 64 bytes: below that the
+	// bookkeeping costs more than the allocation.
+	minClassBits = 6
+	// maxClassBits is the largest class, 1<<20 = 1 MiB — the transport's
+	// frame limit. Larger requests fall through to plain make and are
+	// never pooled.
+	maxClassBits = 20
+
+	numClasses = maxClassBits - minClassBits + 1
+)
+
+// pools[i] holds buffers with cap >= 1<<(minClassBits+i). Entries are
+// *[]byte to keep the slice header itself off the heap (a plain []byte
+// stored in an interface escapes).
+var pools [numClasses]sync.Pool
+
+// classForGet returns the smallest class whose buffers hold n bytes, or -1
+// when n exceeds the largest class.
+func classForGet(n int) int {
+	c := 0
+	for size := 1 << minClassBits; size < n; size <<= 1 {
+		c++
+	}
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// classForPut returns the largest class whose floor the buffer's capacity
+// covers, or -1 when the capacity is below the smallest class. Filing by
+// floor keeps the Get invariant: every buffer in class i has
+// cap >= 1<<(minClassBits+i).
+func classForPut(c int) int {
+	if c < 1<<minClassBits {
+		return -1
+	}
+	class := 0
+	for size := 1 << (minClassBits + 1); size <= c && class < numClasses-1; size <<= 1 {
+		class++
+	}
+	return class
+}
+
+// Get returns a zero-length buffer with capacity at least n, recycled when
+// one is available. Requests beyond the largest class are satisfied by
+// plain allocation (and silently ignored by Put).
+func Get(n int) []byte {
+	c := classForGet(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	if p, _ := pools[c].Get().(*[]byte); p != nil {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, 1<<(minClassBits+c))
+}
+
+// Put recycles a buffer for a future Get. The caller must not use buf
+// after Put. Buffers that are too small or too large to pool are dropped.
+func Put(buf []byte) {
+	c := classForPut(cap(buf))
+	if c < 0 || cap(buf) > 1<<maxClassBits {
+		return
+	}
+	buf = buf[:0]
+	pools[c].Put(&buf)
+}

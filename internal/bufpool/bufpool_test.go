@@ -1,0 +1,73 @@
+package bufpool
+
+import (
+	"testing"
+)
+
+func TestGetCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 1024, 9000, 1 << 20, 1<<20 + 1} {
+		buf := Get(n)
+		if len(buf) != 0 {
+			t.Errorf("Get(%d): len = %d, want 0", n, len(buf))
+		}
+		if cap(buf) < n {
+			t.Errorf("Get(%d): cap = %d, want >= %d", n, cap(buf), n)
+		}
+		Put(buf)
+	}
+}
+
+func TestClassInvariant(t *testing.T) {
+	// Every buffer filed in class i must satisfy future Gets routed to
+	// class i: cap >= the class floor.
+	for c := 0; c < numClasses; c++ {
+		floor := 1 << (minClassBits + c)
+		for _, capacity := range []int{floor, floor + 1, floor*2 - 1} {
+			if got := classForPut(capacity); got < 0 || 1<<(minClassBits+got) > capacity {
+				t.Errorf("classForPut(%d) = %d: floor %d exceeds capacity",
+					capacity, got, 1<<(minClassBits+got))
+			}
+		}
+		if got := classForGet(floor); got != c {
+			t.Errorf("classForGet(%d) = %d, want %d", floor, got, c)
+		}
+	}
+	if classForPut(63) != -1 {
+		t.Error("classForPut(63) should reject sub-minimum buffers")
+	}
+	if classForGet(1<<20+1) != -1 {
+		t.Error("classForGet above the max class should fall through to make")
+	}
+}
+
+func TestRoundTripReuse(t *testing.T) {
+	// Not guaranteed by sync.Pool, but overwhelmingly likely within one
+	// goroutine with no GC in between: a Put buffer comes back on Get.
+	buf := Get(256)
+	buf = append(buf, "hello"...)
+	Put(buf)
+	again := Get(256)
+	if len(again) != 0 {
+		t.Fatalf("recycled buffer has len %d, want 0", len(again))
+	}
+	if cap(again) < 256 {
+		t.Fatalf("recycled buffer cap %d < 256", cap(again))
+	}
+}
+
+func TestOversizePutDropped(t *testing.T) {
+	Put(make([]byte, 0, 2<<20)) // must not panic or poison a class
+	buf := Get(1 << 20)
+	if cap(buf) < 1<<20 {
+		t.Fatalf("cap %d after oversize Put", cap(buf))
+	}
+}
+
+func BenchmarkGetPut(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(512)
+		buf = append(buf, 1, 2, 3)
+		Put(buf)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"hns/internal/bind"
+	"hns/internal/cache"
 	"hns/internal/hrpc"
 	"hns/internal/marshal"
 	"hns/internal/metrics"
@@ -98,6 +99,20 @@ type Config struct {
 	// past expiry (counted in cache_stale_served_total and
 	// Stats.Cache.StaleServed). Zero keeps strict TTL semantics.
 	ServeStale time.Duration
+	// RefreshAhead, when in (0,1), refreshes meta-cache entries ahead of
+	// expiry: a hit whose remaining TTL is at or below that fraction of
+	// the original TTL triggers one asynchronous re-fetch (singleflight
+	// per key, simulated cost discarded), so hot meta records rarely take
+	// a synchronous miss. Zero disables.
+	RefreshAhead float64
+	// BindingCacheTTL, when positive, memoizes fully resolved FindNSM
+	// results: a repeat (context, query class) is answered from the
+	// stored binding without re-walking the six mappings — priced as one
+	// cache probe (CacheHit(0)) on top of the fixed assembly cost. This
+	// is an additional layer above the meta-cache, so it is off by
+	// default and the paper's tables are computed without it; the
+	// zero-allocation warm path the bench-alloc gate pins uses it.
+	BindingCacheTTL time.Duration
 	// RPC, when set, lets the HNS fall back to *remote* HostAddress NSMs
 	// for name services with no linked resolver. Without it, such
 	// lookups fail — the prototype always linked its HostAddress NSMs.
@@ -117,6 +132,11 @@ type HNS struct {
 	resolver *bind.Resolver
 	rpc      *hrpc.Client
 
+	// bindings, when non-nil, is the resolved-binding cache
+	// (Config.BindingCacheTTL): (context, query class) → hrpc.Binding.
+	bindings   *cache.TTL[hrpc.Binding]
+	bindingTTL time.Duration
+
 	mu            sync.RWMutex
 	hostResolvers map[string]HostResolver
 
@@ -133,6 +153,9 @@ type hnsObs struct {
 	errors         *metrics.Counter   // core_findnsm_errors_total
 	warmMS, coldMS *metrics.Histogram // core_findnsm_ms{state=...}
 	steps          [6]*metrics.Histogram
+	// core_binding_cache_total{result=...}; registered only when the
+	// binding cache is enabled (nil handles are no-ops otherwise).
+	bindHits, bindMisses *metrics.Counter
 }
 
 // New creates an HNS over the given meta-BIND client.
@@ -154,14 +177,15 @@ func New(meta *bind.HRPCClient, model *simtime.Model, cfg Config) *HNS {
 			Mode: cfg.CacheMode,
 			// Meta data arrives via the generated stubs, so marshalled-
 			// mode hits pay the generated demarshal rate.
-			Style:       marshal.StyleGenerated,
-			Clock:       cfg.Clock,
-			MaxEntries:  cfg.MaxCacheEntries,
-			Shards:      cfg.CacheShards,
-			NegativeTTL: cfg.NegativeCacheTTL,
-			Metrics:     reg,
-			CacheName:   "meta",
-			StaleFor:    cfg.ServeStale,
+			Style:        marshal.StyleGenerated,
+			Clock:        cfg.Clock,
+			MaxEntries:   cfg.MaxCacheEntries,
+			Shards:       cfg.CacheShards,
+			NegativeTTL:  cfg.NegativeCacheTTL,
+			Metrics:      reg,
+			CacheName:    "meta",
+			StaleFor:     cfg.ServeStale,
+			RefreshAhead: cfg.RefreshAhead,
 		}),
 		hostResolvers: make(map[string]HostResolver),
 		instr:         reg.Enabled(),
@@ -176,6 +200,12 @@ func New(meta *bind.HRPCClient, model *simtime.Model, cfg Config) *HNS {
 	for i := range h.obs.steps {
 		h.obs.steps[i] = reg.Histogram(metrics.Labels("core_findnsm_step_ms",
 			"step", fmt.Sprintf("mapping%d", i+1)))
+	}
+	if cfg.BindingCacheTTL > 0 {
+		h.bindings = cache.New[hrpc.Binding](cfg.Clock, cfg.MaxCacheEntries)
+		h.bindingTTL = cfg.BindingCacheTTL
+		h.obs.bindHits = reg.Counter(metrics.Labels("core_binding_cache_total", "result", "hit"))
+		h.obs.bindMisses = reg.Counter(metrics.Labels("core_binding_cache_total", "result", "miss"))
 	}
 	return h
 }
@@ -274,6 +304,23 @@ func (h *HNS) FindNSM(ctx context.Context, name names.Name, queryClass string) (
 	}
 	queryClass = strings.ToLower(queryClass)
 
+	// Resolved-binding cache: a repeat (context, query class) skips the
+	// entire mapping walk. The key concatenation is the warm path's one
+	// allocation; the hit is priced as a single cache probe.
+	var bkey string
+	if h.bindings != nil {
+		cctx, cerr := names.CanonicalContext(name.Context)
+		if cerr == nil {
+			bkey = cctx + "\x00" + queryClass
+			if b, ok := h.bindings.Get(bkey); ok {
+				simtime.Charge(ctx, h.model.CacheHit(0))
+				h.obs.bindHits.Inc()
+				return b, nil
+			}
+			h.obs.bindMisses.Inc()
+		}
+	}
+
 	var so *stepObs
 	var start time.Duration
 	if tr := tracer(ctx); h.instr || tr != nil {
@@ -286,6 +333,9 @@ func (h *HNS) FindNSM(ctx context.Context, name names.Name, queryClass string) (
 	if err != nil {
 		h.obs.errors.Inc()
 		return b, err
+	}
+	if h.bindings != nil && bkey != "" {
+		h.bindings.Put(bkey, b, h.bindingTTL)
 	}
 	if h.instr {
 		// The final "resolved" lap left prevD at the call's end time,
@@ -519,5 +569,21 @@ func (h *HNS) Stats() Stats {
 	}
 }
 
-// FlushCache empties the meta-cache (between benchmark phases).
-func (h *HNS) FlushCache() { h.resolver.Purge() }
+// BindingCacheStats reports the resolved-binding cache's counters (zeros
+// when Config.BindingCacheTTL is unset).
+func (h *HNS) BindingCacheStats() (hits, misses int64) {
+	if h.bindings == nil {
+		return 0, 0
+	}
+	st := h.bindings.Stats()
+	return st.Hits, st.Misses
+}
+
+// FlushCache empties the meta-cache — and the resolved-binding cache, when
+// enabled (between benchmark phases).
+func (h *HNS) FlushCache() {
+	h.resolver.Purge()
+	if h.bindings != nil {
+		h.bindings.Purge()
+	}
+}

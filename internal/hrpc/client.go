@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hns/internal/bufpool"
 	"hns/internal/health"
 	"hns/internal/marshal"
 	"hns/internal/metrics"
@@ -202,20 +203,26 @@ func (c *Client) Call(ctx context.Context, b Binding, p Procedure, args marshal.
 	model := c.net.Model()
 
 	// Client-side stub work: control bookkeeping plus argument marshalling.
+	// Both the marshalled arguments and the call frame build in pooled
+	// buffers: the arguments are recycled as soon as the frame has copied
+	// them, the frame once the reply is fully decoded (a handler on the
+	// in-process transport may return bytes aliasing its request).
 	simtime.Charge(ctx, ctl.Overhead(model))
-	argBytes, err := marshal.Marshal(rep, args, p.Args)
+	argBytes, err := rep.Append(bufpool.Get(64), args, p.Args)
 	if err != nil {
 		return marshal.Value{}, fmt.Errorf("hrpc: %s: marshal args: %w", p.Name, err)
 	}
 	marshal.ChargeValue(ctx, model, p.Style, args)
 
 	xid := c.xid.Add(1)
-	frame, err := ctl.EncodeCall(CallHeader{
+	frame, err := appendCall(ctl, bufpool.Get(48+len(argBytes)), CallHeader{
 		XID: xid, Program: b.Program, Version: b.Version, Procedure: p.ID,
 	}, argBytes)
+	bufpool.Put(argBytes)
 	if err != nil {
 		return marshal.Value{}, err
 	}
+	defer bufpool.Put(frame)
 
 	respFrame, err := c.roundTrip(ctx, tr, b.Addr, frame)
 	if err != nil {

@@ -47,6 +47,29 @@ type ControlProtocol interface {
 	Overhead(m *simtime.Model) time.Duration
 }
 
+// CallAppender is the pooled-buffer fast path of a control protocol:
+// append the call header and arguments to a caller-supplied buffer
+// instead of allocating a fresh frame. Implementations must produce
+// bytes identical to EncodeCall. All built-in protocols implement it;
+// external protocols may omit it and take the allocating path.
+type CallAppender interface {
+	AppendCall(buf []byte, h CallHeader, args []byte) ([]byte, error)
+}
+
+// ReplyAppender is the reply-side counterpart of CallAppender.
+type ReplyAppender interface {
+	AppendReply(buf []byte, h ReplyHeader, results []byte) ([]byte, error)
+}
+
+// appendCall encodes a call into buf via the protocol's appender when it
+// has one, falling back to EncodeCall (whose result replaces buf).
+func appendCall(ctl ControlProtocol, buf []byte, h CallHeader, args []byte) ([]byte, error) {
+	if a, ok := ctl.(CallAppender); ok {
+		return a.AppendCall(buf, h, args)
+	}
+	return ctl.EncodeCall(h, args)
+}
+
 // ErrBadFrame reports a control-protocol frame that cannot be parsed.
 var ErrBadFrame = errors.New("hrpc: malformed control frame")
 

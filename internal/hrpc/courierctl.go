@@ -33,8 +33,12 @@ func (CourierControl) Name() string { return "courier" }
 // Courier transaction IDs are 16 bits; the XID is truncated on the wire
 // and compared modulo 2^16, which is faithful to the original and safe
 // because calls are serialized per connection.
-func (CourierControl) EncodeCall(h CallHeader, args []byte) ([]byte, error) {
-	buf := make([]byte, 0, 14+len(args))
+func (c CourierControl) EncodeCall(h CallHeader, args []byte) ([]byte, error) {
+	return c.AppendCall(make([]byte, 0, 14+len(args)), h, args)
+}
+
+// AppendCall implements CallAppender.
+func (CourierControl) AppendCall(buf []byte, h CallHeader, args []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, courierVersion)
 	buf = binary.BigEndian.AppendUint16(buf, courierMsgCall)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(h.XID))
@@ -68,8 +72,12 @@ func (CourierControl) DecodeCall(frame []byte) (CallHeader, []byte, error) {
 //
 // Layout: version u16, msg_type u16 (RETURN or ABORT), tid u16, then
 // results (RETURN) or error text (ABORT).
-func (CourierControl) EncodeReply(h ReplyHeader, results []byte) ([]byte, error) {
-	buf := make([]byte, 0, 6+len(results)+len(h.Err))
+func (c CourierControl) EncodeReply(h ReplyHeader, results []byte) ([]byte, error) {
+	return c.AppendReply(make([]byte, 0, 6+len(results)+len(h.Err)), h, results)
+}
+
+// AppendReply implements ReplyAppender.
+func (CourierControl) AppendReply(buf []byte, h ReplyHeader, results []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint16(buf, courierVersion)
 	mt := uint16(courierMsgReturn)
 	if h.Err != "" {

@@ -26,8 +26,12 @@ func (RawControl) Name() string { return "raw" }
 // EncodeCall implements ControlProtocol.
 //
 // Layout: xid u32, program u32, version u32, procedure u32, args...
-func (RawControl) EncodeCall(h CallHeader, args []byte) ([]byte, error) {
-	buf := make([]byte, 0, 16+len(args))
+func (c RawControl) EncodeCall(h CallHeader, args []byte) ([]byte, error) {
+	return c.AppendCall(make([]byte, 0, 16+len(args)), h, args)
+}
+
+// AppendCall implements CallAppender.
+func (RawControl) AppendCall(buf []byte, h CallHeader, args []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint32(buf, h.XID)
 	buf = binary.BigEndian.AppendUint32(buf, h.Program)
 	buf = binary.BigEndian.AppendUint32(buf, h.Version)
@@ -52,8 +56,12 @@ func (RawControl) DecodeCall(frame []byte) (CallHeader, []byte, error) {
 // EncodeReply implements ControlProtocol.
 //
 // Layout: xid u32, status u32 (0 ok, 1 error), then results or error text.
-func (RawControl) EncodeReply(h ReplyHeader, results []byte) ([]byte, error) {
-	buf := make([]byte, 0, 8+len(results)+len(h.Err))
+func (c RawControl) EncodeReply(h ReplyHeader, results []byte) ([]byte, error) {
+	return c.AppendReply(make([]byte, 0, 8+len(results)+len(h.Err)), h, results)
+}
+
+// AppendReply implements ReplyAppender.
+func (RawControl) AppendReply(buf []byte, h ReplyHeader, results []byte) ([]byte, error) {
 	buf = binary.BigEndian.AppendUint32(buf, h.XID)
 	if h.Err != "" {
 		buf = binary.BigEndian.AppendUint32(buf, rawStatusErr)

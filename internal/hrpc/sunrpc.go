@@ -40,8 +40,12 @@ func (SunRPCControl) Name() string { return "sunrpc" }
 //	xid, msg_type=CALL, rpcvers=2, prog, vers, proc,
 //	cred{flavor=AUTH_NONE, len=0}, verf{flavor=AUTH_NONE, len=0},
 //	args...
-func (SunRPCControl) EncodeCall(h CallHeader, args []byte) ([]byte, error) {
-	buf := make([]byte, 0, 40+len(args))
+func (c SunRPCControl) EncodeCall(h CallHeader, args []byte) ([]byte, error) {
+	return c.AppendCall(make([]byte, 0, 40+len(args)), h, args)
+}
+
+// AppendCall implements CallAppender.
+func (SunRPCControl) AppendCall(buf []byte, h CallHeader, args []byte) ([]byte, error) {
 	for _, w := range []uint32{
 		h.XID, sunMsgCall, sunRPCVersion, h.Program, h.Version, h.Procedure,
 		sunAuthNone, 0, // cred
@@ -90,8 +94,12 @@ func (SunRPCControl) DecodeCall(frame []byte) (CallHeader, []byte, error) {
 // verf{AUTH_NONE,0}, accept_stat, then results (success) or an error
 // string (system error) — carrying the error text in the body is our
 // emulation convention for surfacing handler errors.
-func (SunRPCControl) EncodeReply(h ReplyHeader, results []byte) ([]byte, error) {
-	buf := make([]byte, 0, 24+len(results)+len(h.Err))
+func (c SunRPCControl) EncodeReply(h ReplyHeader, results []byte) ([]byte, error) {
+	return c.AppendReply(make([]byte, 0, 24+len(results)+len(h.Err)), h, results)
+}
+
+// AppendReply implements ReplyAppender.
+func (SunRPCControl) AppendReply(buf []byte, h ReplyHeader, results []byte) ([]byte, error) {
 	accept := uint32(sunAcceptSuccess)
 	if h.Err != "" {
 		accept = sunAcceptSystemErr

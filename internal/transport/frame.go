@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"hns/internal/bufpool"
 )
 
 // Wire framing shared by the real TCP and UDP transports.
@@ -62,6 +64,67 @@ func decodeReply(body []byte) (time.Duration, []byte, error) {
 	default:
 		return 0, nil, fmt.Errorf("transport: bad reply status %d", status)
 	}
+}
+
+// appendReply appends a reply body (envelope + payload) to buf, producing
+// bytes identical to encodeReply. It is the pooled-buffer variant: the
+// caller supplies (and later recycles) the destination.
+func appendReply(buf []byte, cost time.Duration, payload []byte, handlerErr error) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, uint64(cost))
+	if handlerErr != nil {
+		buf = append(buf, statusErr)
+		return append(buf, handlerErr.Error()...)
+	}
+	buf = append(buf, statusOK)
+	return append(buf, payload...)
+}
+
+// encodeReplyFramed builds a complete TCP reply frame — 4-byte length
+// prefix and body — in one pooled buffer, so the reply goes out in a
+// single Write with a single copy. Release the buffer with bufpool.Put
+// after writing. Byte-for-byte this is writeFrame(encodeReply(...)).
+func encodeReplyFramed(cost time.Duration, payload []byte, handlerErr error) ([]byte, error) {
+	n := 9 + len(payload)
+	if handlerErr != nil {
+		n = 9 + len(handlerErr.Error())
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := bufpool.Get(4 + n)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	return appendReply(buf, cost, payload, handlerErr), nil
+}
+
+// frameRequest builds a complete TCP request frame (length prefix + req)
+// in one pooled buffer. Release with bufpool.Put after writing.
+func frameRequest(req []byte) ([]byte, error) {
+	if len(req) > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", len(req))
+	}
+	buf := bufpool.Get(4 + len(req))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req)))
+	return append(buf, req...), nil
+}
+
+// readFramePooled reads one length-prefixed body into a pooled buffer.
+// The caller owns the result and releases it with bufpool.Put once the
+// bytes are no longer referenced.
+func readFramePooled(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := bufpool.Get(int(n))[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		bufpool.Put(body)
+		return nil, err
+	}
+	return body, nil
 }
 
 // writeFrame writes a length-prefixed body to a stream.

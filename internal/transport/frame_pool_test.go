@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"hns/internal/bufpool"
+)
+
+// The pooled encode path must be byte-identical to the pre-pool
+// implementation (encodeReply + writeFrame), which stays in the tree as
+// the reference codec. These tests pin that equivalence for both reply
+// statuses and arbitrary payloads.
+
+func referenceFramed(cost time.Duration, payload []byte, herr error) ([]byte, error) {
+	var w bytes.Buffer
+	if err := writeFrame(&w, encodeReply(cost, payload, herr)); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+func TestEncodeReplyFramedMatchesReference(t *testing.T) {
+	cases := []struct {
+		name    string
+		cost    time.Duration
+		payload []byte
+		herr    error
+	}{
+		{"empty ok", 0, nil, nil},
+		{"zero-length ok", 5 * time.Millisecond, []byte{}, nil},
+		{"small ok", 27 * time.Millisecond, []byte("fiji.cs.washington.edu"), nil},
+		{"binary ok", time.Hour, []byte{0, 1, 2, 0xff, 0xfe, 0}, nil},
+		{"big ok", 42, bytes.Repeat([]byte{0xab}, 60*1024), nil},
+		{"handler error", 3 * time.Millisecond, nil, errors.New("no such zone")},
+		{"error with stale payload", 1, []byte("ignored"), errors.New("refused")},
+		{"empty error", 0, nil, errors.New("")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := referenceFramed(tc.cost, tc.payload, tc.herr)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got, err := encodeReplyFramed(tc.cost, tc.payload, tc.herr)
+			if err != nil {
+				t.Fatalf("pooled: %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("pooled frame differs from reference\n got %x\nwant %x", got, want)
+			}
+			bufpool.Put(got)
+		})
+	}
+}
+
+func TestAppendReplyMatchesEncodeReply(t *testing.T) {
+	for _, herr := range []error{nil, errors.New("boom")} {
+		for _, payload := range [][]byte{nil, {}, []byte("abc"), bytes.Repeat([]byte("x"), 4096)} {
+			want := encodeReply(123456, payload, herr)
+			got := appendReply(nil, 123456, payload, herr)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("appendReply(herr=%v, len=%d) differs", herr, len(payload))
+			}
+			// And into a dirty pooled buffer: same bytes, no leftover junk.
+			dirty := bufpool.Get(16)
+			dirty = append(dirty, 0xde, 0xad)
+			got2 := appendReply(dirty[:0], 123456, payload, herr)
+			if !bytes.Equal(got2, want) {
+				t.Fatalf("appendReply into recycled buffer differs")
+			}
+			bufpool.Put(got2)
+		}
+	}
+}
+
+func TestFrameRequestMatchesReference(t *testing.T) {
+	for _, req := range [][]byte{nil, {}, []byte("q"), bytes.Repeat([]byte{7}, 30000)} {
+		var w bytes.Buffer
+		if err := writeFrame(&w, req); err != nil {
+			t.Fatal(err)
+		}
+		got, err := frameRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, w.Bytes()) {
+			t.Fatalf("frameRequest(len=%d) differs from writeFrame", len(req))
+		}
+		bufpool.Put(got)
+	}
+}
+
+func TestFrameRequestOversize(t *testing.T) {
+	if _, err := frameRequest(make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("oversize request did not error")
+	}
+	if _, err := encodeReplyFramed(0, make([]byte, maxFrame+1), nil); err == nil {
+		t.Fatal("oversize reply did not error")
+	}
+}
+
+func TestReadFramePooledMatchesReadFrame(t *testing.T) {
+	payload := bytes.Repeat([]byte("meta"), 257)
+	var w bytes.Buffer
+	if err := writeFrame(&w, payload); err != nil {
+		t.Fatal(err)
+	}
+	stream := w.Bytes()
+
+	ref, err := readFrame(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFramePooled(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("pooled read differs from reference read")
+	}
+	bufpool.Put(got)
+}
+
+// FuzzFramedEquivalence feeds arbitrary costs/payloads/error texts through
+// both encode paths and requires identical frames, then round-trips the
+// frame through the pooled reader and decodeReply.
+func FuzzFramedEquivalence(f *testing.F) {
+	f.Add(uint64(0), []byte(nil), "")
+	f.Add(uint64(27000000), []byte("fiji.cs.washington.edu"), "")
+	f.Add(uint64(1), []byte{0xff, 0x00}, "no such context")
+	f.Fuzz(func(t *testing.T, cost uint64, payload []byte, errText string) {
+		var herr error
+		if errText != "" {
+			herr = errors.New(errText)
+		}
+		want, werr := referenceFramed(time.Duration(cost), payload, herr)
+		got, gerr := encodeReplyFramed(time.Duration(cost), payload, herr)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("error divergence: reference %v, pooled %v", werr, gerr)
+		}
+		if werr != nil {
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frames differ\n got %x\nwant %x", got, want)
+		}
+		body, err := readFramePooled(bytes.NewReader(got))
+		if err != nil {
+			t.Fatalf("readFramePooled: %v", err)
+		}
+		gotCost, gotPayload, derr := decodeReply(body)
+		if herr != nil {
+			var re *RemoteError
+			if !errors.As(derr, &re) || re.Msg != errText {
+				t.Fatalf("decoded error %v, want RemoteError %q", derr, errText)
+			}
+		} else {
+			if derr != nil {
+				t.Fatalf("decode: %v", derr)
+			}
+			if gotCost != time.Duration(cost) || !bytes.Equal(gotPayload, payload) {
+				t.Fatalf("round trip mismatch: cost %v payload %x", gotCost, gotPayload)
+			}
+		}
+		bufpool.Put(body)
+		bufpool.Put(got)
+	})
+}
+
+// The alloc-gate benchmarks: a warm frame encode and decode must not
+// allocate (scripts/bench_alloc.sh enforces ≤1 alloc/op against these).
+
+func BenchmarkEncodeReplyFramed(b *testing.B) {
+	payload := bytes.Repeat([]byte("record"), 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := encodeReplyFramed(27*time.Millisecond, payload, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bufpool.Put(out)
+	}
+}
+
+func BenchmarkDecodeReplyWarm(b *testing.B) {
+	body := encodeReply(27*time.Millisecond, bytes.Repeat([]byte("record"), 40), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := decodeReply(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameRequest(b *testing.B) {
+	req := bytes.Repeat([]byte("q"), 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := frameRequest(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bufpool.Put(out)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"hns/internal/bufpool"
 	"hns/internal/simtime"
 )
 
@@ -82,13 +83,23 @@ func (l *tcpListener) acceptLoop() {
 func (l *tcpListener) serveConn(c net.Conn) {
 	defer c.Close()
 	for {
-		req, err := readFrame(c)
+		req, err := readFramePooled(c)
 		if err != nil {
 			return // EOF or broken peer; drop the connection.
 		}
 		meter := simtime.NewMeter()
 		resp, herr := l.h(simtime.WithMeter(context.Background(), meter), req)
-		if err := writeFrame(c, encodeReply(meter.Elapsed(), resp, herr)); err != nil {
+		// Prefix and body in one pooled buffer, one Write, one copy.
+		// The request buffer is recycled only after the reply is encoded:
+		// a handler may legally return a subslice of its request.
+		out, err := encodeReplyFramed(meter.Elapsed(), resp, herr)
+		bufpool.Put(req)
+		if err != nil {
+			return
+		}
+		_, werr := c.Write(out)
+		bufpool.Put(out)
+		if werr != nil {
 			return
 		}
 	}
@@ -119,17 +130,30 @@ func (c *tcpConn) Call(ctx context.Context, req []byte) ([]byte, error) {
 			return nil, err
 		}
 	}
-	if err := writeFrame(c.c, req); err != nil {
+	out, err := frameRequest(req)
+	if err != nil {
 		return nil, err
 	}
+	_, werr := c.c.Write(out)
+	bufpool.Put(out)
+	if werr != nil {
+		return nil, werr
+	}
 	c.obs.tx(len(req))
-	body, err := readFrame(c.c)
+	body, err := readFramePooled(c.c)
 	if err != nil {
 		return nil, err
 	}
 	c.obs.rx(len(body))
 	simtime.Charge(ctx, c.model.RTTTCP)
 	cost, payload, err := decodeReply(body)
+	if payload != nil {
+		// The payload escapes to the caller; copy it out so the pooled
+		// receive buffer can be recycled. This copy is the wire path's one
+		// remaining per-call allocation.
+		payload = append(make([]byte, 0, len(payload)), payload...)
+	}
+	bufpool.Put(body)
 	simtime.Charge(ctx, cost)
 	return payload, err
 }

@@ -36,6 +36,12 @@ import (
 // fresh simtime meter whose accumulated cost is returned to the caller in
 // the reply envelope. A returned error is propagated to the caller as a
 // *RemoteError.
+//
+// Lifetime: req is only valid until the reply has been produced — the
+// real-socket transports read requests into pooled buffers and recycle
+// them once the reply is encoded. A handler may return a subslice of req,
+// but anything it retains past returning must be copied first (the
+// marshal and bind decoders already copy every leaf they keep).
 type Handler func(ctx context.Context, req []byte) ([]byte, error)
 
 // Conn is a client connection able to perform round-trip calls. Conns are

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"hns/internal/bufpool"
 	"hns/internal/simtime"
 )
 
@@ -70,10 +71,14 @@ func (l *udpListener) Close() error {
 }
 
 func (l *udpListener) serveLoop() {
-	buf := make([]byte, maxDatagram)
 	for {
+		// Each datagram reads into its own pooled buffer, which also drops
+		// the old copy-before-goroutine step: the handler owns the buffer
+		// until its reply is encoded, then it goes back to the pool.
+		buf := bufpool.Get(maxDatagram)[:maxDatagram]
 		n, peer, err := l.pc.ReadFromUDP(buf)
 		if err != nil {
+			bufpool.Put(buf)
 			select {
 			case <-l.done:
 				return
@@ -84,16 +89,16 @@ func (l *udpListener) serveLoop() {
 			}
 			continue
 		}
-		req := make([]byte, n)
-		copy(req, buf[:n])
-		go func(req []byte, peer *net.UDPAddr) {
+		go func(req []byte, n int, peer *net.UDPAddr) {
 			meter := simtime.NewMeter()
-			resp, herr := l.h(simtime.WithMeter(context.Background(), meter), req)
-			body := encodeReply(meter.Elapsed(), resp, herr)
+			resp, herr := l.h(simtime.WithMeter(context.Background(), meter), req[:n])
+			body := appendReply(bufpool.Get(9+len(resp)), meter.Elapsed(), resp, herr)
+			bufpool.Put(req) // after encoding: resp may alias the request
 			if len(body) <= maxDatagram {
 				_, _ = l.pc.WriteToUDP(body, peer)
 			}
-		}(req, peer)
+			bufpool.Put(body)
+		}(buf, n, peer)
 	}
 }
 
@@ -127,14 +132,21 @@ func (c *udpConn) Call(ctx context.Context, req []byte) ([]byte, error) {
 		return nil, err
 	}
 	c.obs.tx(len(req))
-	buf := make([]byte, maxDatagram)
+	buf := bufpool.Get(maxDatagram)[:maxDatagram]
 	n, err := c.c.Read(buf)
 	if err != nil {
+		bufpool.Put(buf)
 		return nil, err
 	}
 	c.obs.rx(n)
 	simtime.Charge(ctx, c.model.RTTUDP)
 	cost, payload, err := decodeReply(buf[:n])
+	if payload != nil {
+		// Copy out so the pooled receive buffer can be recycled — the one
+		// per-call allocation left on this path.
+		payload = append(make([]byte, 0, len(payload)), payload...)
+	}
+	bufpool.Put(buf)
 	simtime.Charge(ctx, cost)
 	return payload, err
 }

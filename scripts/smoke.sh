@@ -22,6 +22,9 @@ go test -race -cpu 4 -run 'Stress|Stampede|Concurrent|Shard|Parallel' \
 echo "--- chaos tier: seeded failure injection (make chaos)"
 make chaos
 
+echo "--- allocation gate: warm wire path and warm FindNSM (make bench-alloc)"
+make bench-alloc
+
 go build -o "$workdir" ./cmd/...
 
 cat > "$workdir/app.zone" <<'EOF'
