@@ -62,6 +62,7 @@ func main() {
 		replyTTL = flag.Duration("reply-cache", 0, "answer repeat identical requests from cached pre-marshalled replies for this long (0 disables); invalidated on update and zone transfer")
 	)
 	flag.Var(&zones, "zone", "zone origin to be authoritative for (repeatable)")
+	mux := flag.Bool("mux", true, "dial multiplexed connections (tagged frames, many in-flight calls per socket); disable to speak the legacy serialized framing to pre-mux peers")
 	flag.Parse()
 	if len(zones) == 0 {
 		log.Fatal("bindd: at least one -zone is required")
@@ -78,6 +79,7 @@ func main() {
 
 	model := simtime.Default()
 	net := transport.NewNetwork(model)
+	net.SetMux(*mux)
 
 	var srv *bind.Server
 	if *secAddr != "" {

@@ -47,6 +47,7 @@ func main() {
 
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	hnsAddr := fs.String("hns", "127.0.0.1:5310", "hnsd address")
+	mux := fs.Bool("mux", true, "dial multiplexed connections (tagged frames, many in-flight calls per socket); disable to speak the legacy serialized framing to pre-mux peers")
 	var worlds worldFlags
 	fs.Var(&worlds, "world", "discipline=context mail-routing mapping (repeatable)")
 
@@ -64,6 +65,7 @@ func main() {
 	rest := fs.Args()
 
 	net := transport.NewNetwork(simtime.Default())
+	net.SetMux(*mux)
 	rpc := hrpc.NewClient(net)
 	defer rpc.Close()
 	finder := core.NewRemoteHNS(rpc,

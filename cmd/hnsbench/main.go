@@ -36,7 +36,7 @@ func main() {
 	var (
 		table      = flag.String("table", "", `table to regenerate ("3.1" or "3.2")`)
 		figure     = flag.String("figure", "", `figure to regenerate ("2.1")`)
-		prose      = flag.String("prose", "", "prose measurement (findnsm nsmcall underlying baselines preload breakeven marshalling nsmsize scaling consistency hitratios broadcast throughput availability replycache)")
+		prose      = flag.String("prose", "", "prose measurement (findnsm nsmcall underlying baselines preload breakeven marshalling nsmsize scaling consistency hitratios broadcast throughput availability replycache muxthroughput)")
 		all        = flag.Bool("all", false, "run everything")
 		check      = flag.Bool("check", false, "regression gate: verify every Table 3.1 cell within ±20% of the paper and exit nonzero otherwise")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to `file` (inspect with go tool pprof)")
@@ -100,26 +100,28 @@ func main() {
 		run("figure 2.1", printFigure21)
 	}
 	proseRunners := map[string]func(context.Context, *world.World) error{
-		"findnsm":      printFindNSM,
-		"nsmcall":      printNSMCall,
-		"underlying":   printUnderlying,
-		"baselines":    printBaselines,
-		"preload":      printPreload,
-		"breakeven":    printBreakEven,
-		"marshalling":  printMarshalling,
-		"nsmsize":      printNSMSize,
-		"scaling":      printScaling,
-		"consistency":  printConsistency,
-		"hitratios":    printHitRatios,
-		"broadcast":    printBroadcast,
-		"throughput":   printThroughput,
-		"availability": printAvailability,
-		"replycache":   printReplyCache,
+		"findnsm":       printFindNSM,
+		"nsmcall":       printNSMCall,
+		"underlying":    printUnderlying,
+		"baselines":     printBaselines,
+		"preload":       printPreload,
+		"breakeven":     printBreakEven,
+		"marshalling":   printMarshalling,
+		"nsmsize":       printNSMSize,
+		"scaling":       printScaling,
+		"consistency":   printConsistency,
+		"hitratios":     printHitRatios,
+		"broadcast":     printBroadcast,
+		"throughput":    printThroughput,
+		"availability":  printAvailability,
+		"replycache":    printReplyCache,
+		"muxthroughput": printMuxThroughput,
 	}
 	if *all {
 		for _, name := range []string{"findnsm", "nsmcall", "underlying", "baselines",
 			"preload", "breakeven", "marshalling", "nsmsize", "scaling", "consistency",
-			"hitratios", "broadcast", "throughput", "availability", "replycache"} {
+			"hitratios", "broadcast", "throughput", "availability", "replycache",
+			"muxthroughput"} {
 			run("prose "+name, proseRunners[name])
 		}
 	} else if *prose != "" {

@@ -52,6 +52,8 @@ func main() {
 		staleFor  = flag.Duration("serve-stale", 0, "serve expired meta-cache entries up to this long past expiry when every meta-BIND replica is down (0 disables)")
 		refrAhead = flag.Float64("refresh-ahead", 0, "refresh meta-cache entries asynchronously once their remaining TTL falls to this fraction of the original (0 disables; try 0.2)")
 		bindTTL   = flag.Duration("binding-cache", 0, "memoize fully resolved FindNSM bindings for this long (0 disables; layered above the meta-cache)")
+		mux       = flag.Bool("mux", true, "dial multiplexed connections (tagged frames, many in-flight calls per socket); disable to speak the legacy serialized framing to pre-mux peers")
+		connIdle  = flag.Duration("conn-idle", 0, "close pooled HRPC connections idle for this long (0 keeps them until shutdown)")
 		linkBind  stringList
 		linkCH    stringList
 		metaReps  stringList
@@ -72,7 +74,9 @@ func main() {
 
 	model := simtime.Default()
 	net := transport.NewNetwork(model)
+	net.SetMux(*mux)
 	rpc := hrpc.NewClient(net)
+	rpc.Pool.IdleTimeout = *connIdle
 	defer rpc.Close()
 
 	metaRPC := hrpc.NewClient(net)
@@ -146,6 +150,12 @@ func main() {
 			select {
 			case <-ticker.C:
 				h.SweepCache()
+				if *connIdle > 0 {
+					// Pool eviction is otherwise lazy (checked on the next
+					// call to the same endpoint); the sweep closes idle
+					// connections to endpoints no one is calling anymore.
+					rpc.CloseIdle()
+				}
 			case <-sweepDone:
 				return
 			}

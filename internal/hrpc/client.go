@@ -20,8 +20,9 @@ import (
 
 // Client places HRPC calls. It resolves a Binding's component names to
 // implementations at call time — the "mix and match at bind time" property
-// — and caches transport connections per endpoint. A Client is safe for
-// concurrent use.
+// — and pools transport connections per endpoint (one by default; see
+// PoolConfig for multiplexed fan-out). A Client is safe for concurrent
+// use.
 type Client struct {
 	net *transport.Network
 	xid atomic.Uint32
@@ -55,8 +56,20 @@ type Client struct {
 	// use.
 	Health health.Config
 
+	// Pool bounds the per-endpoint connection pool (see pool.go). The
+	// zero value keeps the legacy discipline: one connection per
+	// endpoint, kept until Close. Set before first use.
+	Pool PoolConfig
+
 	mu    sync.Mutex
-	conns map[string]transport.Conn
+	pools map[string]*connPool
+
+	// brokenSeen records, per endpoint, the newest broken-connection ID
+	// already charged to its breaker: a multiplexed connection dying with
+	// many calls in flight fails them all with one ConnBrokenError, and
+	// the breaker must see one endpoint failure, not one per caller.
+	brokenMu   sync.Mutex
+	brokenSeen map[string]uint64
 
 	repMu    sync.RWMutex
 	replicas map[string][]string // primary addr → ordered replica set
@@ -144,7 +157,7 @@ func (c *Client) registry() *metrics.Registry {
 
 // NewClient creates a client on the given network.
 func NewClient(net *transport.Network) *Client {
-	return &Client{net: net, conns: make(map[string]transport.Conn)}
+	return &Client{net: net, pools: make(map[string]*connPool)}
 }
 
 // Network exposes the client's network (for components that need the cost
@@ -440,7 +453,7 @@ func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr str
 		if ctx.Err() != nil {
 			return nil, err
 		}
-		hs.Breaker(ep).Failure()
+		c.recordFailure(hs, ep, err)
 		if idx < 64 {
 			tried |= 1 << uint(idx)
 		}
@@ -473,8 +486,33 @@ func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr str
 	}
 }
 
-// sendOnce performs a single exchange over a cached connection, redialing
-// once if a cached connection has gone stale.
+// recordFailure charges one endpoint failure to ep's breaker,
+// deduplicating broken-connection errors: when a multiplexed connection
+// dies with many calls in flight, every caller surfaces the same
+// *transport.ConnBrokenError, and the breaker must count one dead
+// connection — not one failure per in-flight call (which would trip a
+// healthy replica's breaker on a single socket reset).
+func (c *Client) recordFailure(hs *health.Set, ep string, err error) {
+	var cb *transport.ConnBrokenError
+	if errors.As(err, &cb) {
+		c.brokenMu.Lock()
+		seen := c.brokenSeen[ep] == cb.ConnID
+		if !seen {
+			if c.brokenSeen == nil {
+				c.brokenSeen = make(map[string]uint64)
+			}
+			c.brokenSeen[ep] = cb.ConnID
+		}
+		c.brokenMu.Unlock()
+		if seen {
+			return
+		}
+	}
+	hs.Breaker(ep).Failure()
+}
+
+// sendOnce performs a single exchange over a pooled connection,
+// redialing once if a pooled connection has gone stale.
 func (c *Client) sendOnce(ctx context.Context, tr transport.Transport, addr string, frame []byte) ([]byte, error) {
 	if c.FreshConn {
 		conn, err := tr.Dial(ctx, addr)
@@ -485,71 +523,68 @@ func (c *Client) sendOnce(ctx context.Context, tr transport.Transport, addr stri
 		return conn.Call(ctx, frame)
 	}
 	key := tr.Name() + "!" + addr
-	conn, cached, err := c.conn(ctx, tr, addr, key)
+	e, pooled, err := c.acquire(ctx, tr, addr, key)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := conn.Call(ctx, frame)
+	resp, err := e.conn.Call(ctx, frame)
 	if err == nil {
+		c.release(e)
 		return resp, nil
 	}
-	// A stale cached connection gets one redial within the same attempt.
+	// A remote error came over a healthy exchange; an expired call left
+	// a healthy multiplexed connection (its reply will be dropped by
+	// tag). Both keep the connection pooled.
 	var re *transport.RemoteError
-	if errors.As(err, &re) || !cached {
+	var ce *transport.CallExpiredError
+	if errors.As(err, &re) || errors.As(err, &ce) {
+		c.release(e)
 		return nil, err
 	}
-	c.dropConn(key, conn)
-	conn2, _, err2 := c.conn(ctx, tr, addr, key)
+	// A connection dialed by this very call gets no second chance — but
+	// it stays pooled unless it is actually broken, matching the legacy
+	// cache (a lost datagram says nothing about the socket; the next
+	// attempt reuses it).
+	if !pooled {
+		if errors.Is(err, transport.ErrConnBroken) {
+			c.discard(e)
+		} else {
+			c.release(e)
+		}
+		return nil, err
+	}
+	// A pre-existing pooled connection may simply have gone stale (server
+	// restarted since the last call): retire it and redial once within
+	// the same attempt.
+	c.discard(e)
+	e2, _, err2 := c.acquire(ctx, tr, addr, key)
 	if err2 != nil {
 		return nil, err
 	}
-	return conn2.Call(ctx, frame)
+	resp, err = e2.conn.Call(ctx, frame)
+	if err == nil || !errors.Is(err, transport.ErrConnBroken) {
+		c.release(e2)
+	} else {
+		c.discard(e2)
+	}
+	return resp, err
 }
 
-// conn returns a cached connection for key, dialing if absent. The second
-// result reports whether the connection came from the cache.
-func (c *Client) conn(ctx context.Context, tr transport.Transport, addr, key string) (transport.Conn, bool, error) {
-	c.mu.Lock()
-	if conn, ok := c.conns[key]; ok {
-		c.mu.Unlock()
-		return conn, true, nil
-	}
-	c.mu.Unlock()
-
-	conn, err := tr.Dial(ctx, addr)
-	if err != nil {
-		return nil, false, err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if prev, ok := c.conns[key]; ok {
-		// Lost the race; keep the existing connection.
-		_ = conn.Close()
-		return prev, true, nil
-	}
-	c.conns[key] = conn
-	return conn, false, nil
-}
-
-func (c *Client) dropConn(key string, conn transport.Conn) {
-	c.mu.Lock()
-	if c.conns[key] == conn {
-		delete(c.conns, key)
-	}
-	c.mu.Unlock()
-	_ = conn.Close()
-}
-
-// Close releases every cached connection.
+// Close releases every pooled connection.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var first error
-	for k, conn := range c.conns {
-		if err := conn.Close(); err != nil && first == nil {
-			first = err
+	c.mu.Lock()
+	for key, p := range c.pools {
+		for _, e := range p.conns {
+			e.gone = true
+			if err := e.conn.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
-		delete(c.conns, k)
+		p.conns = nil
+		p.size.Set(0)
+		delete(c.pools, key)
 	}
+	c.mu.Unlock()
 	return first
 }

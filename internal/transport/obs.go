@@ -9,6 +9,7 @@ import "hns/internal/metrics"
 type wireObs struct {
 	txFrames, rxFrames *metrics.Counter
 	txBytes, rxBytes   *metrics.Counter
+	demuxErrs          *metrics.Counter
 }
 
 func newWireObs(transportName string) wireObs {
@@ -21,6 +22,8 @@ func newWireObs(transportName string) wireObs {
 		rxFrames: c("transport_frames_total", "rx"),
 		txBytes:  c("transport_bytes_total", "tx"),
 		rxBytes:  c("transport_bytes_total", "rx"),
+		demuxErrs: r.Counter(metrics.Labels("mux_demux_errors_total",
+			"transport", transportName)),
 	}
 }
 
@@ -34,4 +37,11 @@ func (o wireObs) tx(n int) {
 func (o wireObs) rx(n int) {
 	o.rxFrames.Inc()
 	o.rxBytes.Add(int64(n))
+}
+
+// demux records a multiplexed reply that matched no waiting call — an
+// unknown or abandoned stream tag, or an unparseable tagged datagram.
+// Series: mux_demux_errors_total{transport}.
+func (o wireObs) demux() {
+	o.demuxErrs.Inc()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hns/internal/simtime"
@@ -24,14 +25,25 @@ type simTransport struct {
 	name  string
 	costs func(*simtime.Model) (rttNanos, setupNanos int64)
 	obs   wireObs
+	mux   atomic.Bool
 }
 
 func newSimTransport(n *Network, name string, costs func(*simtime.Model) (int64, int64)) *simTransport {
-	return &simTransport{net: n, name: name, costs: costs, obs: newWireObs(name)}
+	t := &simTransport{net: n, name: name, costs: costs, obs: newWireObs(name)}
+	t.mux.Store(true)
+	return t
 }
 
 // Name implements Transport.
 func (t *simTransport) Name() string { return t.name }
+
+// setMux implements muxConfigurable. A muxed simulated conn admits
+// concurrent calls (handlers overlap in real time); a serialized one
+// holds the connection for the whole round trip, mirroring the legacy
+// socket discipline. Simulated charges are identical either way — each
+// call bills its own meter the round trip plus the handler's metered
+// cost — so the paper tables cannot tell the modes apart.
+func (t *simTransport) setMux(enabled bool) { t.mux.Store(enabled) }
 
 func (t *simTransport) key(addr string) string { return t.name + "!" + addr }
 
@@ -62,7 +74,7 @@ func (t *simTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 	}
 	_, setup := t.costs(t.net.model)
 	simtime.Charge(ctx, time.Duration(setup))
-	return &simConn{t: t, addr: addr, ep: ep}, nil
+	return &simConn{t: t, addr: addr, ep: ep, serial: !t.mux.Load()}, nil
 }
 
 type simListener struct {
@@ -91,19 +103,31 @@ func (l *simListener) Close() error {
 }
 
 type simConn struct {
-	t    *simTransport
-	addr string
-	ep   *simEndpoint
+	t      *simTransport
+	addr   string
+	ep     *simEndpoint
+	serial bool // captured at Dial: hold the conn for the whole round trip
 
 	mu     sync.Mutex
 	closed bool
+
+	callMu sync.Mutex // serializes round trips when serial is set
 }
 
 // Call implements Conn. The server handler runs on the caller's goroutine —
 // delivery is synchronous, like a blocked RPC — with a fresh meter whose
 // total is charged back to the caller, mirroring the cost envelope the real
 // transports carry on the wire.
+//
+// Concurrency mirrors the socket transports: by default calls overlap
+// (multiplexed streams), while a conn dialed with mux disabled holds
+// callMu across the handler — one outstanding call, the 1987 discipline.
+// The simulated charges are identical in both modes.
 func (c *simConn) Call(ctx context.Context, req []byte) ([]byte, error) {
+	if c.serial {
+		c.callMu.Lock()
+		defer c.callMu.Unlock()
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

@@ -1,10 +1,14 @@
 package transport
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hns/internal/bufpool"
@@ -19,10 +23,20 @@ import (
 type tcpTransport struct {
 	model *simtime.Model
 	obs   wireObs
+	mux   atomic.Bool // dial multiplexed conns (see mux.go); listeners auto-detect
+}
+
+func newTCPTransport(model *simtime.Model) *tcpTransport {
+	t := &tcpTransport{model: model, obs: newWireObs("tcp-net")}
+	t.mux.Store(true)
+	return t
 }
 
 // Name implements Transport.
 func (t *tcpTransport) Name() string { return "tcp-net" }
+
+// setMux implements muxConfigurable.
+func (t *tcpTransport) setMux(enabled bool) { t.mux.Store(enabled) }
 
 // Dial implements Transport.
 func (t *tcpTransport) Dial(ctx context.Context, addr string) (Conn, error) {
@@ -32,7 +46,36 @@ func (t *tcpTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 		return nil, err
 	}
 	simtime.Charge(ctx, t.model.TCPConnSetup)
-	return &tcpConn{model: t.model, obs: t.obs, c: c}, nil
+	if !t.mux.Load() {
+		return &tcpConn{model: t.model, obs: t.obs, c: c}, nil
+	}
+	// Announce tagged framing; the preamble is unambiguous against any
+	// legal legacy length prefix, so the listener detects it per conn.
+	if _, err := c.Write(muxPreamble[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return newTCPMux(t.model, t.obs, c), nil
+}
+
+// newTCPMux wraps an established stream in the tagged-frame client core:
+// writes serialized by the core's writer lock, replies demultiplexed by
+// the core's reader goroutine. Per-call socket deadlines are impossible
+// on a shared stream, so the core enforces waits with per-call timers.
+func newTCPMux(model *simtime.Model, obs wireObs, c net.Conn) *muxCore {
+	return newMuxCore(obs, model.RTTTCP,
+		func(tag uint32, req []byte) error {
+			out, err := frameMuxRequest(tag, req)
+			if err != nil {
+				return err
+			}
+			_, werr := c.Write(out)
+			bufpool.Put(out)
+			return werr
+		},
+		func() (uint32, []byte, error) { return readMuxFramePooled(c) },
+		c.Close,
+	)
 }
 
 // Listen implements Transport.
@@ -80,10 +123,35 @@ func (l *tcpListener) acceptLoop() {
 	}
 }
 
+// serveConn sniffs the connection's first four bytes to pick a framing:
+// the mux preamble selects tagged frames with concurrent dispatch; any
+// other value is a legacy length prefix and the connection is served by
+// the serialized loop exactly as before. Old clients therefore keep
+// working against new listeners with zero configuration.
 func (l *tcpListener) serveConn(c net.Conn) {
+	var first [4]byte
+	if _, err := io.ReadFull(c, first[:]); err != nil {
+		c.Close()
+		return
+	}
+	if first == muxPreamble {
+		l.serveConnMux(c)
+		return
+	}
+	l.serveConnSerial(c, binary.BigEndian.Uint32(first[:]))
+}
+
+// serveConnSerial is the legacy one-frame-at-a-time loop. firstLen is
+// the already-consumed length prefix of the connection's first frame.
+func (l *tcpListener) serveConnSerial(c net.Conn, firstLen uint32) {
 	defer c.Close()
+	// Re-prepend the sniffed prefix so the frame reader sees an intact
+	// stream.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], firstLen)
+	r := io.MultiReader(bytes.NewReader(hdr[:]), c)
 	for {
-		req, err := readFramePooled(c)
+		req, err := readFramePooled(r)
 		if err != nil {
 			return // EOF or broken peer; drop the connection.
 		}
@@ -102,6 +170,47 @@ func (l *tcpListener) serveConn(c net.Conn) {
 		if werr != nil {
 			return
 		}
+	}
+}
+
+// serveConnMux serves the tagged framing: every request runs in its own
+// goroutine so a slow handler no longer blocks the other streams sharing
+// the socket; only the response writes are serialized. Each request owns
+// its pooled buffer from read until its reply is encoded, so concurrent
+// dispatch keeps the legacy guarantee that a handler may return a
+// subslice of its request.
+func (l *tcpListener) serveConnMux(c net.Conn) {
+	var (
+		wmu sync.Mutex // serializes response writes onto the shared stream
+		wg  sync.WaitGroup
+	)
+	defer func() {
+		// Drain in-flight handlers before closing so none writes to a
+		// closed socket it still believes healthy; their Write errors are
+		// ignored either way.
+		wg.Wait()
+		c.Close()
+	}()
+	for {
+		tag, req, err := readMuxFramePooled(c)
+		if err != nil {
+			return
+		}
+		wg.Add(1)
+		go func(tag uint32, req []byte) {
+			defer wg.Done()
+			meter := simtime.NewMeter()
+			resp, herr := l.h(simtime.WithMeter(context.Background(), meter), req)
+			out, err := encodeMuxReplyFramed(tag, meter.Elapsed(), resp, herr)
+			bufpool.Put(req) // after encoding: resp may alias the request
+			if err != nil {
+				return
+			}
+			wmu.Lock()
+			_, _ = c.Write(out)
+			wmu.Unlock()
+			bufpool.Put(out)
+		}(tag, req)
 	}
 }
 

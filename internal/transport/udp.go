@@ -2,9 +2,11 @@ package transport
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hns/internal/bufpool"
@@ -15,13 +17,34 @@ import (
 // request, one per reply, no retransmission — faithful to the Sun RPC
 // discipline the prototype emulated (callers retry at the RPC layer if they
 // care). Payloads are limited to what fits a datagram.
+//
+// With mux enabled (the default) every request datagram opens with the
+// mux preamble and a 4-byte stream tag so one socket carries many
+// in-flight calls. Datagrams have no byte stream to sniff once, so the
+// listener detects the framing per datagram: a request starting with
+// the preamble is tagged, anything else is legacy — old clients keep
+// working against new listeners with zero configuration, exactly like
+// TCP. (A legacy frame whose first eight bytes happen to spell the
+// preamble would be misread; none of the repo's control protocols can
+// produce one short of a 2^32-call XID collision.) Replies need no
+// preamble: the server answers in the framing the request arrived in.
 type udpTransport struct {
 	model *simtime.Model
 	obs   wireObs
+	mux   atomic.Bool
+}
+
+func newUDPTransport(model *simtime.Model) *udpTransport {
+	t := &udpTransport{model: model, obs: newWireObs("udp-net")}
+	t.mux.Store(true)
+	return t
 }
 
 // Name implements Transport.
 func (t *udpTransport) Name() string { return "udp-net" }
+
+// setMux implements muxConfigurable.
+func (t *udpTransport) setMux(enabled bool) { t.mux.Store(enabled) }
 
 // maxDatagram bounds request/reply payloads on the real UDP transport.
 const maxDatagram = 60 * 1024
@@ -36,7 +59,52 @@ func (t *udpTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &udpConn{model: t.model, obs: t.obs, c: c}, nil
+	if !t.mux.Load() {
+		return &udpConn{model: t.model, obs: t.obs, c: c}, nil
+	}
+	return newUDPMux(t.model, t.obs, c), nil
+}
+
+// newUDPMux wraps a connected UDP socket in the tagged-frame client
+// core. Each request datagram is [preamble][4-byte tag][payload]; the
+// listener echoes the tag ahead of the reply envelope (no preamble —
+// the client knows its own framing). A malformed reply datagram is
+// skipped (and counted) rather than killing the socket — datagram
+// corruption is per-packet, unlike a broken stream.
+func newUDPMux(model *simtime.Model, obs wireObs, c *net.UDPConn) *muxCore {
+	return newMuxCore(obs, model.RTTUDP,
+		func(tag uint32, req []byte) error {
+			if len(req) > maxDatagram-8 {
+				return errors.New("transport: request exceeds datagram limit")
+			}
+			buf := bufpool.Get(8 + len(req))
+			buf = append(buf, muxPreamble[:]...)
+			buf = binary.BigEndian.AppendUint32(buf, tag)
+			buf = append(buf, req...)
+			_, err := c.Write(buf)
+			bufpool.Put(buf)
+			return err
+		},
+		func() (uint32, []byte, error) {
+			buf := bufpool.Get(maxDatagram)[:maxDatagram]
+			n, err := c.Read(buf)
+			if err != nil {
+				bufpool.Put(buf)
+				return 0, nil, err
+			}
+			if n < 4 {
+				bufpool.Put(buf)
+				return 0, nil, errSkipFrame
+			}
+			tag := binary.BigEndian.Uint32(buf[:4])
+			// Shift the body to the buffer's start instead of subslicing:
+			// Put files by capacity, and a subslice would demote this 64 KiB
+			// buffer into a smaller pool class, defeating reuse.
+			copy(buf, buf[4:n])
+			return tag, buf[:n-4], nil
+		},
+		c.Close,
+	)
 }
 
 // Listen implements Transport.
@@ -90,9 +158,26 @@ func (l *udpListener) serveLoop() {
 			continue
 		}
 		go func(req []byte, n int, peer *net.UDPAddr) {
+			// Per-datagram framing detection: a request opening with the
+			// mux preamble is tagged, anything else legacy. The reply is
+			// framed to match, so old and new clients coexist on one
+			// listener.
+			payload := req[:n]
+			var tag uint32
+			tagged := n >= 8 && [4]byte(req[:4]) == muxPreamble
+			if tagged {
+				tag = binary.BigEndian.Uint32(req[4:8])
+				payload = req[8:n]
+			}
 			meter := simtime.NewMeter()
-			resp, herr := l.h(simtime.WithMeter(context.Background(), meter), req[:n])
-			body := appendReply(bufpool.Get(9+len(resp)), meter.Elapsed(), resp, herr)
+			resp, herr := l.h(simtime.WithMeter(context.Background(), meter), payload)
+			var body []byte
+			if tagged {
+				body = appendReply(binary.BigEndian.AppendUint32(bufpool.Get(13+len(resp)), tag),
+					meter.Elapsed(), resp, herr)
+			} else {
+				body = appendReply(bufpool.Get(9+len(resp)), meter.Elapsed(), resp, herr)
+			}
 			bufpool.Put(req) // after encoding: resp may alias the request
 			if len(body) <= maxDatagram {
 				_, _ = l.pc.WriteToUDP(body, peer)

@@ -18,6 +18,8 @@ bounds="
 BenchmarkEncodeReplyFramed ./internal/transport/ 1
 BenchmarkDecodeReplyWarm ./internal/transport/ 1
 BenchmarkFrameRequest ./internal/transport/ 1
+BenchmarkFrameMuxRequest ./internal/transport/ 1
+BenchmarkEncodeMuxReplyFramed ./internal/transport/ 1
 BenchmarkFindNSMWarmAllocs . 1
 "
 
@@ -29,7 +31,7 @@ run_pkg() { # pkg bench-regex
 }
 
 echo "--- bench-alloc: warm-path allocation gate"
-run_pkg ./internal/transport/ 'BenchmarkEncodeReplyFramed$|BenchmarkDecodeReplyWarm$|BenchmarkFrameRequest$' | tee -a "$out"
+run_pkg ./internal/transport/ 'BenchmarkEncodeReplyFramed$|BenchmarkDecodeReplyWarm$|BenchmarkFrameRequest$|BenchmarkFrameMuxRequest$|BenchmarkEncodeMuxReplyFramed$' | tee -a "$out"
 run_pkg . 'BenchmarkFindNSMWarmAllocs$' | tee -a "$out"
 
 fail=0

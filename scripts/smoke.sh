@@ -19,6 +19,9 @@ echo "--- race detector, concurrency stress at -cpu 4"
 go test -race -cpu 4 -run 'Stress|Stampede|Concurrent|Shard|Parallel' \
         . ./internal/cache ./internal/bind ./internal/workload
 
+echo "--- mux stress tier: multiplexed wire, pool, and teardown paths"
+go test -race -run Mux -count=3 ./internal/transport ./internal/hrpc
+
 echo "--- chaos tier: seeded failure injection (make chaos)"
 make chaos
 
