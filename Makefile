@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-parallel bench-alloc fuzz smoke chaos examples harness regen outputs
+.PHONY: all build vet test race bench bench-parallel bench-alloc bench-scale fuzz smoke chaos examples harness regen outputs
 
 all: build vet test
 
@@ -30,6 +30,12 @@ bench-parallel:
 bench-alloc:
 	./scripts/bench_alloc.sh
 
+# The fleet-scale scenario matrix: every named workload scenario at each
+# client-count decade, written to BENCH_scale.json. Sim-side cells are
+# deterministic per seed; ops/sec is wall-clock.
+bench-scale:
+	go run ./cmd/hnsbench -prose scale
+
 # Short exploratory fuzzing over every wire codec.
 fuzz:
 	go test -fuzz FuzzDecodeMessage -fuzztime 15s ./internal/bind/
@@ -38,6 +44,7 @@ fuzz:
 	go test -fuzz FuzzRawControl -fuzztime 10s ./internal/hrpc/
 	go test -fuzz FuzzXDRDecode -fuzztime 10s ./internal/marshal/
 	go test -fuzz FuzzCourierDecode -fuzztime 10s ./internal/marshal/
+	go test -fuzz FuzzSpecValidate -fuzztime 10s ./internal/workload/
 
 # Multi-process deployment over real sockets.
 smoke:

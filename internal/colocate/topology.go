@@ -1,0 +1,73 @@
+package colocate
+
+import "math/rand"
+
+// Site is one site of a simulated fleet: a client population sharing one
+// site-level HNS ("hnsd") deployed under one of Table 3.1's colocation
+// arrangements. The fleet engine (internal/workload) draws a topology and
+// runs per-site populations against it, so hit ratios are measured over
+// the same placement vocabulary the paper's Table 3.1 uses.
+type Site struct {
+	// Index identifies the site (0-based).
+	Index int
+	// Arrangement is the site's colocation row: it decides whether the
+	// site HNS is linked into the clients' process or reached by a
+	// remote call.
+	Arrangement Arrangement
+	// Clients is this site's population share.
+	Clients int
+}
+
+// HNSIsRemote reports whether this arrangement places the HNS across a
+// process boundary from the client — rows 2, 3, and 5, where every HNS
+// access pays a remote call.
+func (a Arrangement) HNSIsRemote() bool {
+	switch a {
+	case AgentHNSNSMs, RemoteHNS, AllRemote:
+		return true
+	default:
+		return false
+	}
+}
+
+// Topology draws a deterministic fleet topology: `clients` clients spread
+// over `sites` sites with seeded, skewed population shares (real fleets
+// have big campuses and small field offices), each site assigned one of
+// the five Table 3.1 arrangements. The same (sites, clients, seed) triple
+// always yields the same topology; every site gets at least one client
+// when clients >= sites.
+func Topology(sites, clients int, seed int64) []Site {
+	if sites <= 0 || clients <= 0 {
+		return nil
+	}
+	if sites > clients {
+		sites = clients
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x51735173))
+	arrs := Arrangements()
+
+	out := make([]Site, sites)
+	weights := make([]float64, sites)
+	var total float64
+	for i := range out {
+		out[i] = Site{Index: i, Arrangement: arrs[rng.Intn(len(arrs))], Clients: 1}
+		// 0.25 floor keeps every site a real population; the random part
+		// skews shares ~5:1 between the largest and smallest sites.
+		weights[i] = 0.25 + rng.Float64()
+		total += weights[i]
+	}
+	// One client per site is already allocated; distribute the rest by
+	// weight, then hand out rounding leftovers in site order.
+	remaining := clients - sites
+	assigned := 0
+	for i := range out {
+		share := int(float64(remaining) * weights[i] / total)
+		out[i].Clients += share
+		assigned += share
+	}
+	for i := 0; assigned < remaining; i = (i + 1) % sites {
+		out[i].Clients++
+		assigned++
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package colocate
+
+import "testing"
+
+func TestTopologyDeterministicAndExact(t *testing.T) {
+	a := Topology(8, 1000, 42)
+	b := Topology(8, 1000, 42)
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("site counts %d/%d, want 8", len(a), len(b))
+	}
+	total := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("site %d differs between identical draws: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Clients < 1 {
+			t.Fatalf("site %d has %d clients, want >= 1", i, a[i].Clients)
+		}
+		total += a[i].Clients
+	}
+	if total != 1000 {
+		t.Fatalf("topology allocates %d clients, want 1000", total)
+	}
+}
+
+func TestTopologySeedsDiffer(t *testing.T) {
+	a := Topology(8, 1000, 1)
+	b := Topology(8, 1000, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical topologies")
+	}
+}
+
+func TestTopologyMoreSitesThanClients(t *testing.T) {
+	sites := Topology(10, 3, 7)
+	if len(sites) != 3 {
+		t.Fatalf("got %d sites for 3 clients, want 3", len(sites))
+	}
+	for _, s := range sites {
+		if s.Clients != 1 {
+			t.Fatalf("site %d has %d clients, want 1", s.Index, s.Clients)
+		}
+	}
+	if Topology(0, 5, 1) != nil || Topology(5, 0, 1) != nil {
+		t.Fatal("degenerate topologies should be nil")
+	}
+}
+
+func TestHNSIsRemote(t *testing.T) {
+	want := map[Arrangement]bool{
+		ClientHNSNSMs: false,
+		AgentHNSNSMs:  true,
+		RemoteHNS:     true,
+		RemoteNSMs:    false,
+		AllRemote:     true,
+	}
+	for arr, remote := range want {
+		if arr.HNSIsRemote() != remote {
+			t.Errorf("%v HNSIsRemote = %v, want %v", arr, arr.HNSIsRemote(), remote)
+		}
+	}
+}

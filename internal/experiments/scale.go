@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"hns/internal/workload"
+)
+
+// ScaleSpec parameterizes the fleet-scale scenario matrix: every named
+// workload scenario run at each client-count point over a fixed site
+// topology. The sim-side numbers (latency percentiles, per-tier hit
+// ratios, effective authority fetches) are deterministic per seed; the
+// real side (ops/sec, coalesce counts) depends on the host.
+type ScaleSpec struct {
+	// ClientPoints are the fleet sizes to sweep.
+	ClientPoints []int
+	// Sites is the site count the population spreads over.
+	Sites int
+	// OpsPerClient, Contexts, Skew, Seed are as in workload.FleetSpec.
+	OpsPerClient int
+	Contexts     int
+	Skew         float64
+	Seed         int64
+	// Workers bounds the wall pass's concurrency (<= 0 means the
+	// workload default).
+	Workers int
+	// Scenarios names the scenarios to run; empty means all of them.
+	Scenarios []string
+}
+
+// DefaultScaleSpec is the hnsbench configuration: three decades of fleet
+// size, every scenario.
+func DefaultScaleSpec() ScaleSpec {
+	return ScaleSpec{
+		ClientPoints: []int{1000, 10000, 100000},
+		Sites:        8,
+		OpsPerClient: 4,
+		Contexts:     8,
+		Skew:         1.3,
+		Seed:         1987,
+	}
+}
+
+func (s ScaleSpec) scenarios() []string {
+	if len(s.Scenarios) > 0 {
+		return s.Scenarios
+	}
+	var names []string
+	for _, sc := range workload.Scenarios() {
+		names = append(names, sc.Name)
+	}
+	return names
+}
+
+// ScaleRow is one (scenario, client-count) cell of the matrix. sim_*
+// fields are deterministic per seed; real_* fields are wall-clock
+// measurements.
+type ScaleRow struct {
+	Scenario string `json:"scenario"`
+	Clients  int    `json:"clients"`
+	Sites    int    `json:"sites"`
+	Ops      int    `json:"ops"`
+
+	SimP50Ms  float64 `json:"sim_p50_ms"`
+	SimP99Ms  float64 `json:"sim_p99_ms"`
+	SimMeanMs float64 `json:"sim_mean_ms"`
+
+	HostHitRatio      float64 `json:"host_hit_ratio"`
+	SiteHitRatio      float64 `json:"site_hit_ratio"`
+	AuthorityHitRatio float64 `json:"authority_hit_ratio"`
+	AuthorityFetches  int64   `json:"authority_fetches"`
+	StaleOps          int64   `json:"stale_ops"`
+	SimFailures       int     `json:"sim_failures"`
+
+	RealOpsPerSec float64 `json:"real_ops_per_sec"`
+	Coalesced     int64   `json:"coalesced"`
+	WallFetches   int64   `json:"wall_fetches"`
+	WallStale     int64   `json:"wall_stale"`
+	WallFailures  int     `json:"wall_failures"`
+}
+
+// scaleRow flattens a fleet result into the JSON row.
+func scaleRow(res workload.FleetResult) ScaleRow {
+	return ScaleRow{
+		Scenario:          res.Scenario,
+		Clients:           res.Clients,
+		Sites:             res.Sites,
+		Ops:               res.Ops,
+		SimP50Ms:          simMs(res.P50),
+		SimP99Ms:          simMs(res.P99),
+		SimMeanMs:         simMs(res.Mean),
+		HostHitRatio:      res.Host.HitRatio,
+		SiteHitRatio:      res.Site.HitRatio,
+		AuthorityHitRatio: res.Authority.HitRatio,
+		AuthorityFetches:  res.AuthorityFetches,
+		StaleOps:          res.StaleOps,
+		SimFailures:       res.Failures,
+		RealOpsPerSec:     res.OpsPerSec,
+		Coalesced:         res.Coalesced,
+		WallFetches:       res.WallFetches,
+		WallStale:         res.WallStale,
+		WallFailures:      res.WallFailures,
+	}
+}
+
+// RunScale runs the scenario matrix: every scenario at every client
+// point, in canonical order (scenario-major).
+func RunScale(ctx context.Context, spec ScaleSpec) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	for _, name := range spec.scenarios() {
+		for _, clients := range spec.ClientPoints {
+			fs := workload.FleetSpec{
+				Sites:        spec.Sites,
+				Clients:      clients,
+				OpsPerClient: spec.OpsPerClient,
+				Contexts:     spec.Contexts,
+				Skew:         spec.Skew,
+				Seed:         spec.Seed,
+				Workers:      spec.Workers,
+			}
+			res, err := workload.RunScenario(ctx, name, fs)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: scale %s/%d clients: %w", name, clients, err)
+			}
+			rows = append(rows, scaleRow(res))
+		}
+	}
+	return rows, nil
+}
+
+// ScaleDoc is the BENCH_scale.json document.
+type ScaleDoc struct {
+	Schema string `json:"schema"`
+	Note   string `json:"note"`
+	Spec   struct {
+		ClientPoints []int    `json:"client_points"`
+		Sites        int      `json:"sites"`
+		OpsPerClient int      `json:"ops_per_client"`
+		Contexts     int      `json:"contexts"`
+		Skew         float64  `json:"skew"`
+		Seed         int64    `json:"seed"`
+		Scenarios    []string `json:"scenarios"`
+	} `json:"spec"`
+	Rows []ScaleRow `json:"rows"`
+}
+
+// ScaleSchema identifies the BENCH_scale.json layout; bump it when a
+// field changes meaning, not just when a field is added.
+const ScaleSchema = "hns/bench-scale/v1"
+
+// BuildScaleDoc assembles the document around the measured rows.
+func BuildScaleDoc(spec ScaleSpec, rows []ScaleRow) ScaleDoc {
+	var doc ScaleDoc
+	doc.Schema = ScaleSchema
+	doc.Note = "sim_* fields and per-tier ratios are deterministic per seed; " +
+		"real_* fields are wall-clock and vary with the host (CI runs in a 1-core container)"
+	doc.Spec.ClientPoints = spec.ClientPoints
+	doc.Spec.Sites = spec.Sites
+	doc.Spec.OpsPerClient = spec.OpsPerClient
+	doc.Spec.Contexts = spec.Contexts
+	doc.Spec.Skew = spec.Skew
+	doc.Spec.Seed = spec.Seed
+	doc.Spec.Scenarios = spec.scenarios()
+	doc.Rows = rows
+	return doc
+}
+
+// EncodeScaleDoc renders the document as the file's canonical JSON.
+func EncodeScaleDoc(doc ScaleDoc) ([]byte, error) {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// simMs converts a simulated duration to milliseconds for the JSON
+// document.
+func simMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,68 @@
+package workload_test
+
+import (
+	"math"
+	"testing"
+
+	"hns/internal/workload"
+)
+
+// FuzzSpecValidate locks the Spec validation boundary: any spec Validate
+// accepts must be safe to Draw from (no panics in rand.NewZipf, every
+// drawn context in range), and the documented rejections — non-positive
+// counts, skew in (0,1], NaN/Inf skew — must actually reject.
+func FuzzSpecValidate(f *testing.F) {
+	f.Add(1, 1, 1, 0.0, int64(0))
+	f.Add(3, 10, 4, 1.5, int64(42))
+	f.Add(0, 1, 1, 0.0, int64(0))
+	f.Add(1, 1, 1, 0.5, int64(0))
+	f.Add(1, 1, 1, 1.0, int64(0))
+	f.Add(1, 1, 1, math.NaN(), int64(0))
+	f.Add(1, 1, 1, math.Inf(1), int64(0))
+	f.Add(1024, 1, 64, 2.0, int64(-9))
+	f.Fuzz(func(t *testing.T, clients, ops, contexts int, skew float64, seed int64) {
+		spec := workload.Spec{
+			Clients:      clients,
+			OpsPerClient: ops,
+			Contexts:     contexts,
+			Skew:         skew,
+			Seed:         seed,
+		}
+		err := spec.Validate()
+
+		wantReject := clients <= 0 || ops <= 0 || contexts <= 0 ||
+			(skew != 0 && (math.IsNaN(skew) || math.IsInf(skew, 0) || skew <= 1))
+		if wantReject {
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", spec)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Validate rejected %+v: %v", spec, err)
+		}
+
+		// Keep the actual draw cheap: Validate's contract is per-field, so
+		// clamping sizes here doesn't weaken what we lock.
+		if spec.Clients > 4 {
+			spec.Clients = 4
+		}
+		if spec.OpsPerClient > 64 {
+			spec.OpsPerClient = 64
+		}
+		if spec.Contexts > 512 {
+			spec.Contexts = 512
+		}
+		for client := 0; client < spec.Clients; client++ {
+			stream := spec.Draw(client)
+			if len(stream) != spec.OpsPerClient {
+				t.Fatalf("client %d drew %d ops, want %d", client, len(stream), spec.OpsPerClient)
+			}
+			for i, idx := range stream {
+				if idx < 0 || idx >= spec.Contexts {
+					t.Fatalf("client %d op %d drew context %d outside [0,%d)", client, i, idx, spec.Contexts)
+				}
+			}
+		}
+	})
+}

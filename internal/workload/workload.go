@@ -19,6 +19,7 @@ package workload
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -57,8 +58,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workload: need at least one op per client")
 	case s.Contexts <= 0:
 		return fmt.Errorf("workload: need at least one context")
-	case s.Skew != 0 && s.Skew <= 1:
-		return fmt.Errorf("workload: Zipf skew must be > 1 (or 0 for uniform)")
+	case s.Skew != 0 && (math.IsNaN(s.Skew) || math.IsInf(s.Skew, 0) || s.Skew <= 1):
+		return fmt.Errorf("workload: Zipf skew must be finite and > 1 (or 0 for uniform)")
 	}
 	return nil
 }
@@ -109,23 +110,40 @@ type Result struct {
 	Ops int
 }
 
-// draw produces each client's operation sequence: context indices drawn
-// Zipf or uniform. Deterministic per (seed, client).
-func draw(spec Spec, client int) []int {
-	rng := rand.New(rand.NewSource(spec.Seed + int64(client)*7919))
-	ops := make([]int, spec.OpsPerClient)
-	if spec.Skew == 0 {
+// clientRNG is the per-client random source every runner derives its
+// draws from. The 7919 stride keeps neighbouring clients' streams
+// decorrelated while leaving the (seed, client) → stream map pure.
+func clientRNG(seed int64, client int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(client)*7919))
+}
+
+// drawContexts fills n context indices from rng, Zipf-skewed or uniform.
+func drawContexts(rng *rand.Rand, n, contexts int, skew float64) []int {
+	ops := make([]int, n)
+	if skew == 0 {
 		for i := range ops {
-			ops[i] = rng.Intn(spec.Contexts)
+			ops[i] = rng.Intn(contexts)
 		}
 		return ops
 	}
-	z := rand.NewZipf(rng, spec.Skew, 1, uint64(spec.Contexts-1))
+	z := rand.NewZipf(rng, skew, 1, uint64(contexts-1))
 	for i := range ops {
 		ops[i] = int(z.Uint64())
 	}
 	return ops
 }
+
+// draw produces each client's operation sequence: context indices drawn
+// Zipf or uniform. Deterministic per (seed, client).
+func draw(spec Spec, client int) []int {
+	return drawContexts(clientRNG(spec.Seed, client), spec.OpsPerClient, spec.Contexts, spec.Skew)
+}
+
+// Draw exposes a client's deterministic operation stream: the context
+// index of each of its OpsPerClient FindNSM calls. Run and RunConcurrent
+// both consume exactly this stream — a schedule decides *when* a client's
+// ops execute, never *what* the client asks for.
+func (s Spec) Draw(client int) []int { return draw(s, client) }
 
 // Run executes the population under the given placement. The world must
 // already contain spec.Contexts synthetic types (world.AddSyntheticType).
@@ -261,15 +279,19 @@ func RunConcurrent(ctx context.Context, w *world.World, spec Spec, placement Pla
 		return ConcurrentResult{}, fmt.Errorf("workload: unknown placement %d", placement)
 	}
 
-	// Finders are created sequentially (instance bookkeeping is not
-	// locked); only the operation streams run concurrently.
+	// Finders and operation streams are created sequentially (instance
+	// bookkeeping is not locked, and precomputing the draws pins the
+	// per-(seed, client) sequences before any goroutine runs); only the
+	// operation streams execute concurrently.
 	finders := make([]core.Finder, spec.Clients)
+	streams := make([][]int, spec.Clients)
 	for client := range finders {
 		f, err := finderFor(client)
 		if err != nil {
 			return ConcurrentResult{}, err
 		}
 		finders[client] = f
+		streams[client] = draw(spec, client)
 	}
 
 	var (
@@ -282,7 +304,7 @@ func RunConcurrent(ctx context.Context, w *world.World, spec Spec, placement Pla
 		wg.Add(1)
 		go func(client int) {
 			defer wg.Done()
-			for _, ctxIdx := range draw(spec, client) {
+			for _, ctxIdx := range streams[client] {
 				name := names.Must(world.SyntheticContext(ctxIdx), world.SyntheticHost(ctxIdx))
 				cost, err := simtime.Measure(ctx, func(ctx context.Context) error {
 					_, err := finders[client].FindNSM(ctx, name, qclass.HostAddress)

@@ -193,3 +193,106 @@ func TestSharedLocalPlacement(t *testing.T) {
 			sharedLocal.MeanOpCost, sharedRemote.MeanOpCost)
 	}
 }
+
+// TestDrawDeterministic pins the (seed, client) → operation-stream map:
+// schedules decide when a client's ops run, never what it asks for.
+func TestDrawDeterministic(t *testing.T) {
+	spec := workload.Spec{Clients: 8, OpsPerClient: 64, Contexts: 6, Skew: 1.3, Seed: 99}
+	for client := 0; client < spec.Clients; client++ {
+		a, b := spec.Draw(client), spec.Draw(client)
+		if len(a) != spec.OpsPerClient {
+			t.Fatalf("client %d drew %d ops, want %d", client, len(a), spec.OpsPerClient)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("client %d op %d differs between draws: %d vs %d", client, i, a[i], b[i])
+			}
+			if a[i] < 0 || a[i] >= spec.Contexts {
+				t.Fatalf("client %d op %d drew context %d outside [0,%d)", client, i, a[i], spec.Contexts)
+			}
+		}
+	}
+	// Neighbouring clients get decorrelated streams.
+	a, b := spec.Draw(0), spec.Draw(1)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("clients 0 and 1 drew identical streams")
+	}
+}
+
+// TestRunConcurrentMatchesRun is the satellite determinism contract: with
+// LocalHNS placement (per-client caches, no shared state to race on),
+// RunConcurrent must produce exactly Run's aggregate numbers regardless of
+// goroutine interleaving, because both execute the same per-(seed, client)
+// streams against isolated caches.
+func TestRunConcurrentMatchesRun(t *testing.T) {
+	w := newWorkloadWorld(t, 6)
+	spec := workload.Spec{Clients: 8, OpsPerClient: 24, Contexts: 6, Skew: 1.3, Seed: 7}
+	ctx := context.Background()
+
+	// Warm the shared HostAddress NSM caches once so both runs below start
+	// from identical world state (the TestRunDeterministic discipline).
+	if _, err := workload.Run(ctx, w, spec, workload.LocalHNS); err != nil {
+		t.Fatal(err)
+	}
+
+	seq, err := workload.Run(ctx, w, spec, workload.LocalHNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := workload.RunConcurrent(ctx, w, spec, workload.LocalHNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Ops != conc.Ops {
+		t.Fatalf("ops differ: sequential %d, concurrent %d", seq.Ops, conc.Ops)
+	}
+	if seq.TotalCost != conc.TotalCost {
+		t.Fatalf("total sim cost differs: sequential %v, concurrent %v", seq.TotalCost, conc.TotalCost)
+	}
+	if seq.HitRate != conc.HitRate {
+		t.Fatalf("hit rate differs: sequential %v, concurrent %v", seq.HitRate, conc.HitRate)
+	}
+	if seq.MeanOpCost != conc.MeanOpCost {
+		t.Fatalf("mean op cost differs: sequential %v, concurrent %v", seq.MeanOpCost, conc.MeanOpCost)
+	}
+}
+
+// TestRunConcurrentRepeatable: two concurrent runs with the same Spec
+// produce identical aggregate op counts and simulated totals even for the
+// shared placement — interleaving may shift which client's miss warms the
+// cache, but never how many ops execute.
+func TestRunConcurrentRepeatable(t *testing.T) {
+	w := newWorkloadWorld(t, 6)
+	spec := workload.Spec{Clients: 8, OpsPerClient: 24, Contexts: 6, Skew: 1.3, Seed: 7}
+	ctx := context.Background()
+
+	if _, err := workload.Run(ctx, w, spec, workload.SharedLocalHNS); err != nil {
+		t.Fatal(err) // warm shared NSM caches
+	}
+	a, err := workload.RunConcurrent(ctx, w, spec, workload.SharedLocalHNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.RunConcurrent(ctx, w, spec, workload.SharedLocalHNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ops != b.Ops {
+		t.Fatalf("aggregate op counts differ: %d vs %d", a.Ops, b.Ops)
+	}
+	if a.Ops != spec.Clients*spec.OpsPerClient {
+		t.Fatalf("ops = %d, want %d", a.Ops, spec.Clients*spec.OpsPerClient)
+	}
+	// With a fully warm shared cache every op is a hit, so even the
+	// schedule-dependent aggregates settle: sim totals must match too.
+	if a.TotalCost != b.TotalCost {
+		t.Fatalf("total sim cost differs across identical specs: %v vs %v", a.TotalCost, b.TotalCost)
+	}
+}

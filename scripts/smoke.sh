@@ -22,6 +22,21 @@ go test -race -cpu 4 -run 'Stress|Stampede|Concurrent|Shard|Parallel' \
 echo "--- mux stress tier: multiplexed wire, pool, and teardown paths"
 go test -race -run Mux -count=3 ./internal/transport ./internal/hrpc
 
+echo "--- fleet scenario tier: one tiny seeded config per scenario, raced"
+go test -race -run 'TestScenario' -count=3 ./internal/workload
+
+echo "--- coverage floors: internal/workload and internal/health"
+cover() {
+  local pkg=$1 floor=$2
+  local pct
+  pct=$(go test -cover "$pkg" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')
+  awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p+0 >= f+0) }' || {
+    echo "SMOKE FAILED: $pkg coverage ${pct}% below floor ${floor}%"; exit 1; }
+  echo "$pkg coverage ${pct}% (floor ${floor}%)"
+}
+cover ./internal/workload 87
+cover ./internal/health 83
+
 echo "--- chaos tier: seeded failure injection (make chaos)"
 make chaos
 
