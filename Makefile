@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-parallel bench-alloc bench-scale fuzz smoke chaos examples harness regen outputs
+.PHONY: all build vet test race bench bench-parallel bench-alloc bench-scale bench-batch fuzz smoke chaos examples harness regen outputs
 
 all: build vet test
 
@@ -36,14 +36,21 @@ bench-alloc:
 bench-scale:
 	go run ./cmd/hnsbench -prose scale
 
+# The batch/admission experiment: frame amortization, batched-vs-single
+# throughput, and the 10k-caller shed arms, written to BENCH_batch.json.
+bench-batch:
+	go run ./cmd/hnsbench -prose batch
+
 # Short exploratory fuzzing over every wire codec.
 fuzz:
 	go test -fuzz FuzzDecodeMessage -fuzztime 15s ./internal/bind/
+	go test -fuzz FuzzBatchDecode -fuzztime 10s ./internal/bind/
 	go test -fuzz FuzzSunRPCControl -fuzztime 10s ./internal/hrpc/
 	go test -fuzz FuzzCourierControl -fuzztime 10s ./internal/hrpc/
 	go test -fuzz FuzzRawControl -fuzztime 10s ./internal/hrpc/
 	go test -fuzz FuzzXDRDecode -fuzztime 10s ./internal/marshal/
 	go test -fuzz FuzzCourierDecode -fuzztime 10s ./internal/marshal/
+	go test -fuzz FuzzFindBatchDecode -fuzztime 10s ./internal/core/
 	go test -fuzz FuzzSpecValidate -fuzztime 10s ./internal/workload/
 
 # Multi-process deployment over real sockets.

@@ -513,3 +513,45 @@ func printScale(ctx context.Context, _ *world.World) error {
 	fmt.Printf("wrote %s\n", scaleBenchFile)
 	return nil
 }
+
+// batchBenchFile is where printBatch records the batched-resolution and
+// front-door shed measurements for EXPERIMENTS.md.
+const batchBenchFile = "BENCH_batch.json"
+
+func printBatch(ctx context.Context, _ *world.World) error {
+	spec := experiments.DefaultBatchSpec()
+	res, err := experiments.RunBatch(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Batched resolution and the admission-controlled front door")
+	fmt.Printf("batch of %d names vs %d singles; %d concurrent callers; shed crowd of %d\n",
+		spec.Names, spec.Names, spec.Callers, spec.ShedCallers)
+	fmt.Printf("against an in-flight cap of %d (GOMAXPROCS=%d).\n",
+		spec.ShedMaxInflight, runtime.GOMAXPROCS(0))
+	fmt.Println()
+	f, tp, sh := res.Frames, res.Throughput, res.Shed
+	fmt.Printf("frames (deterministic):  batch %d, singles %d  =>  %.0fx amortization (bar: >= 4x)\n",
+		f.BatchFrames, f.SingleFrames, f.Amortization)
+	fmt.Printf("throughput (wall):       batch %.0f names/s, singles %.0f names/s  =>  %.1fx\n",
+		tp.BatchNamesPerSec, tp.SingleNamesPerSec, tp.Speedup)
+	fmt.Printf("shed at %d callers:   uncapped p99 %.1f ms; capped served p99 %.1f ms\n",
+		sh.Callers, sh.UncappedP99Ms, sh.CappedServedP99Ms)
+	fmt.Printf("                         (%d served, %d refused with typed Overloaded)\n",
+		sh.Served, sh.Refused)
+	fmt.Println()
+	fmt.Println("shape: one exchange carries the whole batch, so frames amortize with batch")
+	fmt.Println("size; under a crowd the cap keeps the *served* tail bounded by cap x service")
+	fmt.Println("time while the uncapped tail grows with the crowd itself.")
+
+	doc := experiments.BuildBatchDoc(spec, res)
+	buf, err := experiments.EncodeBatchDoc(doc)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(batchBenchFile, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", batchBenchFile)
+	return nil
+}

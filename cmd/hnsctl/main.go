@@ -13,6 +13,7 @@
 //	hnsctl dump    -meta 127.0.0.1:5301
 //	hnsctl stats   -from 127.0.0.1:5390 [-filter substr]
 //	hnsctl health  -from 127.0.0.1:5390
+//	hnsctl admit   -from 127.0.0.1:5321
 //
 // Registrations write meta records through the modified BIND's dynamic
 // update interface; `dump` prints the whole meta zone as a zone file.
@@ -70,6 +71,8 @@ func main() {
 		err = cmdStats(args)
 	case "health":
 		err = cmdHealth(args)
+	case "admit":
+		err = cmdAdmit(args)
 	default:
 		usage()
 	}
@@ -80,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump|stats|health} [flags] args...")
+	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump|stats|health|admit} [flags] args...")
 	os.Exit(2)
 }
 

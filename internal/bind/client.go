@@ -63,6 +63,9 @@ type clientObs struct {
 	ok, notFound, errs *metrics.Counter // bind_client_lookups_total{iface,result}
 	updates            *metrics.Counter // bind_client_updates_total{iface}
 	transfers          *metrics.Counter // bind_client_transfers_total{iface}
+	batches            *metrics.Counter // bind_client_batches_total{iface}
+	batchNames         *metrics.Counter // bind_client_batch_names_total{iface}
+	batchFallbacks     *metrics.Counter // bind_client_batch_fallback_total{iface}
 }
 
 func newClientObs(iface string) clientObs {
@@ -77,6 +80,12 @@ func newClientObs(iface string) clientObs {
 		errs:     lookups("error"),
 		updates:  r.Counter(metrics.Labels("bind_client_updates_total", "iface", iface)),
 		transfers: r.Counter(metrics.Labels("bind_client_transfers_total",
+			"iface", iface)),
+		batches: r.Counter(metrics.Labels("bind_client_batches_total",
+			"iface", iface)),
+		batchNames: r.Counter(metrics.Labels("bind_client_batch_names_total",
+			"iface", iface)),
+		batchFallbacks: r.Counter(metrics.Labels("bind_client_batch_fallback_total",
 			"iface", iface)),
 	}
 }
@@ -262,6 +271,11 @@ type HRPCClient struct {
 	c   *hrpc.Client
 	b   hrpc.Binding
 	obs clientObs
+
+	// noBatch latches once the server reports the batch procedure
+	// unavailable: later LookupBatch calls fan out as singles without
+	// re-probing (see batch.go).
+	noBatch atomic.Bool
 }
 
 // NewHRPCClient creates a client for the BIND HRPC interface bound at b.

@@ -496,6 +496,7 @@ func (s *Server) HRPCServer() *hrpc.Server {
 		}
 		return marshal.StructV(marshal.U32(uint32(RCodeOK)), marshal.U32(z.Serial())), nil
 	})
+	s.registerBatch(hs)
 	return hs
 }
 

@@ -1,0 +1,207 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hns/internal/core"
+	"hns/internal/hrpc"
+	"hns/internal/marshal"
+	"hns/internal/names"
+	"hns/internal/qclass"
+	"hns/internal/simtime"
+	"hns/internal/world"
+)
+
+func batchQueries() []core.NameQuery {
+	return []core.NameQuery{
+		{Name: world.DesiredServiceName(), QueryClass: qclass.HRPCBinding},
+		{Name: names.Must("ghost", "x"), QueryClass: qclass.HRPCBinding}, // failing slot
+		{Name: world.CourierServiceName(), QueryClass: qclass.HRPCBinding},
+	}
+}
+
+func TestLocalFindNSMBatch(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	res, err := w.HNS.FindNSMBatch(context.Background(), batchQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if res[0].Err != nil || res[0].Binding.Host != world.HostNSM {
+		t.Fatalf("slot 0 = %+v", res[0])
+	}
+	if res[1].Err == nil {
+		t.Fatal("ghost context resolved")
+	}
+	// Partial failure does not poison the batch.
+	if res[2].Err != nil || res[2].Binding.Addr != "june:"+world.PortBindingCH {
+		t.Fatalf("slot 2 = %+v", res[2])
+	}
+}
+
+func TestRemoteFindNSMBatch(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	ln, hb, err := core.ServeHNS(w.Net, w.HNS, "june", "june:hns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	remote := core.NewRemoteHNS(w.RPC, hb)
+
+	ctx := context.Background()
+	res, err := remote.FindNSMBatch(ctx, batchQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := w.HNS.FindNSMBatch(ctx, batchQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if (res[i].Err == nil) != (local[i].Err == nil) {
+			t.Fatalf("slot %d: remote err %v, local err %v", i, res[i].Err, local[i].Err)
+		}
+		if res[i].Err == nil && res[i].Binding != local[i].Binding {
+			t.Fatalf("slot %d: remote %v != local %v", i, res[i].Binding, local[i].Binding)
+		}
+	}
+	// The failing slot is a remote fault naming the cause, not a dead call.
+	var rf *hrpc.RemoteFault
+	if !errors.As(res[1].Err, &rf) {
+		t.Fatalf("slot 1 err = %v, want RemoteFault", res[1].Err)
+	}
+}
+
+// TestRemoteFindNSMBatchOldServer is the negotiation test: an HNS
+// server without the batch procedure still serves batches via per-name
+// FindNSM fallback, and the downgrade is latched after one probe.
+func TestRemoteFindNSMBatchOldServer(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	// An old peer: the HNS program exactly as it shipped before this
+	// extension — FindNSM only.
+	old := hrpc.NewServer("hns-old@june", core.HNSProgram, core.HNSVersion)
+	bindingT := marshal.TStruct(
+		marshal.TString, marshal.TString, marshal.TString, marshal.TString,
+		marshal.TString, marshal.TUint32, marshal.TUint32,
+	)
+	old.Register(hrpc.Procedure{
+		Name: "FindNSM", ID: 1,
+		Args: marshal.TStruct(marshal.TString, marshal.TString, marshal.TString),
+		Ret:  marshal.TStruct(bindingT),
+	}, func(ctx context.Context, args marshal.Value) (marshal.Value, error) {
+		cx, _ := args.Items[0].AsString()
+		individual, _ := args.Items[1].AsString()
+		qc, _ := args.Items[2].AsString()
+		n, err := names.New(cx, individual)
+		if err != nil {
+			return marshal.Value{}, err
+		}
+		b, err := w.HNS.FindNSM(ctx, n, qc)
+		if err != nil {
+			return marshal.Value{}, err
+		}
+		return marshal.StructV(qclass.BindingValue(b)), nil
+	})
+	ln, hb, err := hrpc.Serve(w.Net, old, hrpc.SuiteRaw, "june", "june:hns-old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	remote := core.NewRemoteHNS(w.RPC, hb)
+	ctx := context.Background()
+	res, err := remote.FindNSMBatch(ctx, batchQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[0].Binding.Host != world.HostNSM {
+		t.Fatalf("slot 0 via fallback = %+v", res[0])
+	}
+	if res[1].Err == nil {
+		t.Fatal("ghost context resolved via fallback")
+	}
+	// A second batch must work too (now going straight to singles).
+	if _, err := remote.FindNSMBatch(ctx, batchQueries()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFindAll covers the generic helper: batch-capable finders batch,
+// plain finders loop.
+func TestFindAll(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	ctx := context.Background()
+	res, err := core.FindAll(ctx, w.HNS, batchQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[1].Err == nil || res[2].Err != nil {
+		t.Fatalf("FindAll results: %+v", res)
+	}
+
+	res2, err := core.FindAll(ctx, plainFinder{w.HNS}, batchQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if (res[i].Err == nil) != (res2[i].Err == nil) {
+			t.Fatalf("slot %d differs between batch and loop paths", i)
+		}
+		if res[i].Err == nil && res[i].Binding != res2[i].Binding {
+			t.Fatalf("slot %d bindings differ: %v vs %v", i, res[i].Binding, res2[i].Binding)
+		}
+	}
+}
+
+// plainFinder hides the batch method, forcing FindAll's loop path.
+type plainFinder struct{ f core.Finder }
+
+func (p plainFinder) FindNSM(ctx context.Context, n names.Name, qc string) (hrpc.Binding, error) {
+	return p.f.FindNSM(ctx, n, qc)
+}
+
+// TestRemoteBatchCheaperThanSingles pins the amortization on the core
+// interface in simulated time (warm caches, so frame cost dominates).
+func TestRemoteBatchCheaperThanSingles(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	ln, hb, err := core.ServeHNS(w.Net, w.HNS, "june", "june:hns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	remote := core.NewRemoteHNS(w.RPC, hb)
+
+	qs := make([]core.NameQuery, 8)
+	for i := range qs {
+		qs[i] = core.NameQuery{Name: world.DesiredServiceName(), QueryClass: qclass.HRPCBinding}
+	}
+	// Warm every cache first so both arms measure pure call cost.
+	if _, err := remote.FindNSMBatch(context.Background(), qs[:1]); err != nil {
+		t.Fatal(err)
+	}
+	batchCost, err := simtime.Measure(context.Background(), func(ctx context.Context) error {
+		_, err := remote.FindNSMBatch(ctx, qs)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleCost, err := simtime.Measure(context.Background(), func(ctx context.Context) error {
+		for _, q := range qs {
+			if _, err := remote.FindNSM(ctx, q.Name, q.QueryClass); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batchCost >= singleCost {
+		t.Fatalf("batch of %d cost %v, singles cost %v; batching should amortize", len(qs), batchCost, singleCost)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 
 	"hns/internal/hrpc"
 	"hns/internal/marshal"
@@ -22,12 +23,19 @@ const (
 	HNSVersion uint32 = 1
 )
 
+// Procedure IDs of the HNS program, exported so fronting services (the
+// hnsgw gateway) can classify calls without repeating the IDL.
+const (
+	ProcFindNSMID      uint32 = 1
+	ProcFindNSMBatchID uint32 = 2
+)
+
 // procFindNSM is the remote FindNSM interface.
 //
 //	args: {context string, individual string, queryClass string}
 //	ret:  {binding}
 var procFindNSM = hrpc.Procedure{
-	Name: "FindNSM", ID: 1,
+	Name: "FindNSM", ID: ProcFindNSMID,
 	Args: marshal.TStruct(marshal.TString, marshal.TString, marshal.TString),
 	Ret: marshal.TStruct(marshal.TStruct(
 		marshal.TString, marshal.TString, marshal.TString, marshal.TString,
@@ -40,8 +48,10 @@ func resolveHostArgs(context, individual string) marshal.Value {
 	return marshal.StructV(marshal.Str(context), marshal.Str(individual))
 }
 
-// NewHNSServer wraps h in its HRPC program.
-func NewHNSServer(h *HNS, name string) *hrpc.Server {
+// NewFinderServer wraps any Finder in the HNS HRPC program — the local
+// library, or another remote HNS (which is how the hnsgw gateway fronts
+// a backend: its Finder is a RemoteHNS pointing upstream).
+func NewFinderServer(f Finder, name string) *hrpc.Server {
 	s := hrpc.NewServer(name, HNSProgram, HNSVersion)
 	s.Register(procFindNSM, func(ctx context.Context, args marshal.Value) (marshal.Value, error) {
 		context, err := args.Items[0].AsString()
@@ -60,13 +70,19 @@ func NewHNSServer(h *HNS, name string) *hrpc.Server {
 		if err != nil {
 			return marshal.Value{}, err
 		}
-		b, err := h.FindNSM(ctx, n, qc)
+		b, err := f.FindNSM(ctx, n, qc)
 		if err != nil {
 			return marshal.Value{}, err
 		}
 		return marshal.StructV(qclass.BindingValue(b)), nil
 	})
+	registerFindBatch(s, f)
 	return s
+}
+
+// NewHNSServer wraps h in its HRPC program.
+func NewHNSServer(h *HNS, name string) *hrpc.Server {
+	return NewFinderServer(h, name)
 }
 
 // ServeHNS binds an HNS server at addr over the Raw suite.
@@ -79,6 +95,10 @@ func ServeHNS(net *transport.Network, h *HNS, host, addr string) (transport.List
 type RemoteHNS struct {
 	c *hrpc.Client
 	b hrpc.Binding
+
+	// noBatch latches once the server reports FindNSMBatch unavailable:
+	// later batches fan out as single calls without re-probing.
+	noBatch atomic.Bool
 }
 
 // NewRemoteHNS creates a Finder for the HNS served at b.

@@ -1,0 +1,189 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hns/internal/admission"
+	"hns/internal/core"
+	"hns/internal/hrpc"
+	"hns/internal/metrics"
+	"hns/internal/names"
+	"hns/internal/qclass"
+	"hns/internal/simtime"
+	"hns/internal/transport"
+)
+
+// stubFinder is the backend behind the gateway's upstream: it answers a
+// fixed binding, fails a designated context, and records the budget each
+// call arrived with.
+type stubFinder struct {
+	mu      sync.Mutex
+	budgets []time.Duration
+}
+
+var stubBinding = hrpc.Binding{
+	Host: "nsm-host", Addr: "nsm:1", Transport: "udp",
+	DataRep: "xdr", Control: "sunrpc", Program: 200100, Version: 10,
+}
+
+func (s *stubFinder) FindNSM(ctx context.Context, n names.Name, qc string) (hrpc.Binding, error) {
+	b, _ := hrpc.BudgetFrom(ctx)
+	s.mu.Lock()
+	s.budgets = append(s.budgets, b)
+	s.mu.Unlock()
+	if n.Context == "ghost" {
+		return hrpc.Binding{}, fmt.Errorf("no such context %q", n.Context)
+	}
+	return stubBinding, nil
+}
+
+func (s *stubFinder) recorded() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.budgets...)
+}
+
+// gwEnv is client → gateway → backend, all on one simulated network.
+type gwEnv struct {
+	net   *transport.Network
+	stub  *stubFinder
+	gw    *Gateway
+	gwB   hrpc.Binding
+	front *core.RemoteHNS
+}
+
+func newGWEnv(t *testing.T, cfg Config) *gwEnv {
+	t.Helper()
+	n := transport.NewNetwork(simtime.Default())
+	stub := &stubFinder{}
+
+	backend := core.NewFinderServer(stub, "hns-backend")
+	backend.Metrics = metrics.NewRegistry()
+	bln, bb, err := hrpc.Serve(n, backend, hrpc.SuiteRaw, "backend", "backend:hns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bln.Close() })
+
+	up := hrpc.NewClient(n)
+	up.Metrics = metrics.NewRegistry()
+	t.Cleanup(func() { up.Close() })
+	gw := New(up, bb, cfg)
+	gw.SetMetrics(metrics.NewRegistry())
+	gln, gb, err := gw.Serve(n, hrpc.SuiteRaw, "gw", "gw:hns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gln.Close() })
+
+	fc := hrpc.NewClient(n)
+	fc.Metrics = metrics.NewRegistry()
+	fc.PropagateDeadline = cfg.PropagateDeadline
+	t.Cleanup(func() { fc.Close() })
+	return &gwEnv{net: n, stub: stub, gw: gw, gwB: gb, front: core.NewRemoteHNS(fc, gb)}
+}
+
+func TestGatewayForwards(t *testing.T) {
+	e := newGWEnv(t, Config{})
+	ctx := simtime.WithMeter(context.Background(), simtime.NewMeter())
+	b, err := e.front.FindNSM(ctx, names.Must("svc", "a"), qclass.HRPCBinding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != stubBinding {
+		t.Fatalf("forwarded binding = %v, want %v", b, stubBinding)
+	}
+	// A batch through the gateway: per-slot results, one failing slot.
+	res, err := e.front.FindNSMBatch(ctx, []core.NameQuery{
+		{Name: names.Must("svc", "a"), QueryClass: qclass.HRPCBinding},
+		{Name: names.Must("ghost", "x"), QueryClass: qclass.HRPCBinding},
+		{Name: names.Must("svc", "b"), QueryClass: qclass.HRPCBinding},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err != nil || res[0].Binding != stubBinding {
+		t.Fatalf("slot 0 = %+v", res[0])
+	}
+	if res[1].Err == nil {
+		t.Fatal("ghost slot resolved through gateway")
+	}
+	if res[2].Err != nil || res[2].Binding != stubBinding {
+		t.Fatalf("slot 2 = %+v", res[2])
+	}
+}
+
+// TestGatewayShedsBatchFirst pins the priority policy: past the
+// low-watermark, batch (Low) calls shed with a typed Overloaded while
+// single FindNSM (High) calls keep flowing.
+func TestGatewayShedsBatchFirst(t *testing.T) {
+	e := newGWEnv(t, Config{
+		Admission: &admission.Config{
+			MaxInflight:  4,
+			LowWatermark: 0.5, // Low sheds past 2 in flight
+			Metrics:      metrics.NewRegistry(),
+		},
+	})
+	ctl := e.gw.Admission()
+	// Occupy the low-priority headroom.
+	for i := 0; i < 2; i++ {
+		if err := ctl.Admit("occupier", admission.High); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() { ctl.Done(); ctl.Done() }()
+
+	ctx := simtime.WithMeter(context.Background(), simtime.NewMeter())
+	_, err := e.front.FindNSMBatch(ctx, []core.NameQuery{
+		{Name: names.Must("svc", "a"), QueryClass: qclass.HRPCBinding},
+	})
+	if !errors.Is(err, hrpc.ErrOverloaded) {
+		t.Fatalf("batch past watermark: %v, want ErrOverloaded", err)
+	}
+	// The shed put the gateway endpoint in a client-side backoff window —
+	// by design. A different caller's single (High) call is still served.
+	fc2 := hrpc.NewClient(e.net)
+	fc2.Metrics = metrics.NewRegistry()
+	defer fc2.Close()
+	front2 := core.NewRemoteHNS(fc2, e.gwB)
+	if _, err := front2.FindNSM(ctx, names.Must("svc", "a"), qclass.HRPCBinding); err != nil {
+		t.Fatalf("single call past watermark: %v, want admitted", err)
+	}
+}
+
+// TestGatewayPropagatesBudget: a budget on the front call crosses the
+// gateway and reaches the backend Finder — minus whatever the journey
+// charged, never more than the original.
+func TestGatewayPropagatesBudget(t *testing.T) {
+	e := newGWEnv(t, Config{PropagateDeadline: true})
+	const budget = 600 * time.Millisecond
+	ctx := hrpc.WithBudget(simtime.WithMeter(context.Background(), simtime.NewMeter()), budget)
+	if _, err := e.front.FindNSM(ctx, names.Must("svc", "a"), qclass.HRPCBinding); err != nil {
+		t.Fatal(err)
+	}
+	got := e.stub.recorded()
+	if len(got) != 1 {
+		t.Fatalf("backend saw %d calls, want 1", len(got))
+	}
+	if got[0] <= 0 || got[0] > budget {
+		t.Fatalf("backend budget = %v, want in (0, %v]", got[0], budget)
+	}
+}
+
+// TestGatewayWithoutPropagationSendsNoBudget: the default gateway does
+// not invent budgets — the backend sees none.
+func TestGatewayWithoutPropagationSendsNoBudget(t *testing.T) {
+	e := newGWEnv(t, Config{})
+	ctx := hrpc.WithBudget(simtime.WithMeter(context.Background(), simtime.NewMeter()), 600*time.Millisecond)
+	if _, err := e.front.FindNSM(ctx, names.Must("svc", "a"), qclass.HRPCBinding); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.stub.recorded(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("backend budgets = %v, want [0]", got)
+	}
+}

@@ -144,6 +144,8 @@ func (s *Set) Breaker(endpoint string) *Breaker {
 			"service", s.cfg.Service, "endpoint", endpoint)),
 		failures: reg.Counter(metrics.Labels("breaker_failures_total",
 			"service", s.cfg.Service, "endpoint", endpoint)),
+		backpr: reg.Counter(metrics.Labels("breaker_backpressure_total",
+			"service", s.cfg.Service, "endpoint", endpoint)),
 	}
 	b.healthy.Set(1)
 	s.breakers[endpoint] = b
@@ -161,12 +163,21 @@ type Breaker struct {
 	opens    *metrics.Counter // transitions into Open
 	probes   *metrics.Counter // half-open probes admitted
 	failures *metrics.Counter // failures reported
+	backpr   *metrics.Counter // backpressure windows recorded
 
 	mu       sync.Mutex
 	state    State
 	fails    int       // consecutive failures while Closed
 	openedAt time.Time // Clock time of the last transition into Open
 	probing  bool      // a half-open probe is in flight
+
+	// backoffUntil is the server-requested backpressure window: an
+	// Overloaded reply means the endpoint is alive but shedding, so Allow
+	// refuses calls until the window passes without opening the breaker
+	// (no probe discipline, no cooldown — the server named its own
+	// retry-after). Sharing the breaker table keeps one map of endpoint
+	// state, not two.
+	backoffUntil time.Time
 }
 
 // Allow reports whether a call to this endpoint may proceed. The second
@@ -178,6 +189,12 @@ func (b *Breaker) Allow() (ok, probe bool) {
 	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
+		if !b.backoffUntil.IsZero() {
+			if b.cfg.Clock.Now().Before(b.backoffUntil) {
+				return false, false
+			}
+			b.backoffUntil = time.Time{}
+		}
 		return true, false
 	case Open:
 		if b.cfg.Clock.Now().Sub(b.openedAt) < b.cfg.Cooldown {
@@ -232,6 +249,39 @@ func (b *Breaker) Failure() {
 		// calls were in flight): restart the cooldown.
 		b.openedAt = b.cfg.Clock.Now()
 	}
+}
+
+// Backpressure records a server-requested backoff: the endpoint answered
+// Overloaded, so calls are refused for d without counting a failure or
+// opening the breaker — the server is alive, just shedding. A longer
+// window already in force is kept; Success and Failure leave the window
+// untouched (an admitted probe that squeaks through early does not erase
+// the server's own retry-after hint — the window simply expires).
+func (b *Breaker) Backpressure(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	until := b.cfg.Clock.Now().Add(d)
+	if until.After(b.backoffUntil) {
+		b.backoffUntil = until
+	}
+	b.backpr.Inc()
+}
+
+// BackoffRemaining reports how much of a backpressure window is left
+// (zero when none is in force).
+func (b *Breaker) BackoffRemaining() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.backoffUntil.IsZero() {
+		return 0
+	}
+	if d := b.backoffUntil.Sub(b.cfg.Clock.Now()); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // State reports the breaker's current state.

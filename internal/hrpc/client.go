@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,16 @@ type Client struct {
 	// value derives its budget from Retries so legacy configuration
 	// keeps its exact cost behavior. Set before first use.
 	Policy RetryPolicy
+
+	// PropagateDeadline, when set, carries the caller's remaining budget
+	// with every call attempt (an explicit WithBudget value, else the
+	// ctx deadline): deadline-aware servers shed work that arrives
+	// already expired, and each retransmission carries what remains
+	// after the charged backoff, not the original budget. Off by
+	// default — the prefix changes the wire bytes, so it is opt-in per
+	// client, and pre-extension servers would reject the frame. Set
+	// before first use.
+	PropagateDeadline bool
 
 	// Health parameterizes the per-endpoint circuit breakers. The zero
 	// value uses the package defaults with real time. Set before first
@@ -237,7 +248,7 @@ func (c *Client) Call(ctx context.Context, b Binding, p Procedure, args marshal.
 	}
 	defer bufpool.Put(frame)
 
-	respFrame, err := c.roundTrip(ctx, tr, b.Addr, frame)
+	respFrame, ep, err := c.roundTrip(ctx, tr, b.Addr, frame, c.budgetState(ctx))
 	if err != nil {
 		return marshal.Value{}, fmt.Errorf("hrpc: %s to %s: %w", p.Name, b.Addr, err)
 	}
@@ -254,6 +265,19 @@ func (c *Client) Call(ctx context.Context, b Binding, p Procedure, args marshal.
 		return marshal.Value{}, fmt.Errorf("%w: sent %d, got %d", ErrXIDMismatch, xid, rh.XID)
 	}
 	if rh.Err != "" {
+		// Typed statuses ride the error text under reserved prefixes.
+		// An Overloaded reply is backpressure, not failure: record the
+		// server's retry-after on the endpoint's breaker (the shared
+		// breaker table IS the per-endpoint backoff state) so the next
+		// call routes around the shedding endpoint without tripping it.
+		if reason, retryAfter, ok := parseOverloadedErr(rh.Err); ok {
+			c.breakers().Breaker(ep).Backpressure(retryAfter)
+			reg.Counter(metrics.Labels("hrpc_client_backpressure_total", "addr", ep)).Inc()
+			return marshal.Value{}, &BackpressureError{Endpoint: ep, Reason: reason, RetryAfter: retryAfter}
+		}
+		if _, ok := parseExpiredErr(rh.Err); ok {
+			return marshal.Value{}, &BudgetExpiredError{Endpoint: ep, Proc: p.Name}
+		}
 		return marshal.Value{}, &RemoteFault{Proc: p.Name, Msg: rh.Err}
 	}
 
@@ -295,6 +319,15 @@ func (e *CallTimeout) Unwrap() error { return e.LastErr }
 // Is matches the ErrCallTimeout sentinel.
 func (e *CallTimeout) Is(target error) bool { return target == ErrCallTimeout }
 
+// ProcUnavailable reports whether err is the remote fault a server
+// raises for a procedure it does not implement — the negotiation signal
+// a new client uses to detect an old peer and fall back to the
+// procedures both sides share.
+func ProcUnavailable(err error) bool {
+	var rf *RemoteFault
+	return errors.As(err, &rf) && strings.Contains(rf.Msg, "unavailable on program")
+}
+
 // Unavailable reports whether err means the backend could not be
 // reached: the call timed out, no replica was live, or the transport
 // failed outright. It is false for remote faults and remote errors — a
@@ -316,6 +349,12 @@ func Unavailable(err error) bool {
 
 // errKind buckets a call error for hrpc_client_errors_total.
 func errKind(err error) string {
+	if errors.Is(err, ErrOverloaded) {
+		return "overloaded"
+	}
+	if errors.Is(err, ErrBudgetExpired) {
+		return "budget_expired"
+	}
 	var rf *RemoteFault
 	if errors.As(err, &rf) {
 		return "remote_fault"
@@ -359,9 +398,49 @@ func jitterScale(endpoint string, attempt int, j float64) float64 {
 	return 1 + j*(2*u-1)
 }
 
+// budgetState tracks a propagated deadline across a call's attempts:
+// the budget at Call entry plus the caller's meter position then, so
+// each attempt can compute what remains after the sim-time already
+// charged (backoffs, earlier marshalling).
+type budgetState struct {
+	active bool
+	total  time.Duration
+	meter  *simtime.Meter
+	start  time.Duration // meter position at Call entry
+}
+
+// budgetState captures the propagated-deadline state for one call. An
+// explicit WithBudget value (a gateway forwarding an inbound budget)
+// wins over the ctx deadline; without either, nothing is propagated.
+func (c *Client) budgetState(ctx context.Context) budgetState {
+	if !c.PropagateDeadline {
+		return budgetState{}
+	}
+	m := simtime.From(ctx)
+	if d, ok := BudgetFrom(ctx); ok {
+		return budgetState{active: true, total: d, meter: m, start: m.Elapsed()}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		return budgetState{active: true, total: time.Until(dl), meter: m, start: m.Elapsed()}
+	}
+	return budgetState{}
+}
+
+// remaining reports the unspent budget: the entry budget minus the sim
+// time this call has charged since entry (never negative).
+func (b budgetState) remaining() time.Duration {
+	d := b.total - (b.meter.Elapsed() - b.start)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // roundTrip sends one frame to the first live endpoint of addr's replica
 // set, retransmitting after transport-level losses and failing over as
 // breakers take endpoints out of rotation, within the policy's budget.
+// It reports the endpoint that produced the returned reply, so the
+// caller can attribute reply-carried statuses (backpressure) to it.
 //
 // Cost discipline: a timeout-class failure charges the current backoff
 // (the wait the caller sat through to detect the loss), capped so the
@@ -369,7 +448,7 @@ func jitterScale(endpoint string, attempt int, j float64) float64 {
 // open breaker) charge nothing. With a single replica and the legacy
 // Retries configuration this charges exactly what the old fixed-count
 // loop did, so calibrated Table 3.1 costs are unchanged.
-func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr string, frame []byte) ([]byte, error) {
+func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr string, frame []byte, bs budgetState) ([]byte, string, error) {
 	reg := c.registry()
 	model := c.net.Model()
 	replicas := c.replicasFor(addr)
@@ -386,6 +465,18 @@ func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr str
 	remaining := c.Policy.Budget
 	if remaining <= 0 {
 		remaining = time.Duration(c.Retries) * model.RetransmitTimeout
+	}
+	// A caller deadline already shorter than the policy's budget clamps
+	// it: scheduling a retry wait the caller will not live to see only
+	// charges sim time for a reply nobody wants. The propagated budget
+	// (when one is active) clamps the same way.
+	if dl, ok := ctx.Deadline(); ok {
+		if until := time.Until(dl); until < remaining {
+			remaining = max(until, 0)
+		}
+	}
+	if bs.active && bs.remaining() < remaining {
+		remaining = bs.remaining()
 	}
 
 	var (
@@ -428,30 +519,41 @@ func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr str
 			if lastErr == nil {
 				lastErr = health.ErrNoLiveEndpoint
 			}
-			return nil, &CallTimeout{Addr: addr, Attempts: attempts, LastErr: lastErr}
+			return nil, "", &CallTimeout{Addr: addr, Attempts: attempts, LastErr: lastErr}
 		}
 		ep := replicas[idx]
 
-		resp, err := c.sendOnce(ctx, tr, ep, frame)
+		// With a propagated deadline, each attempt carries what is left
+		// of the budget NOW — after charged backoffs and failovers — not
+		// the budget the call started with. The prefixed frame is a
+		// plain allocation (not pooled): the in-process transport may
+		// hand back a reply aliasing the request, so its lifetime must
+		// outlive the reply decode.
+		attemptFrame := frame
+		if bs.active {
+			pf := appendBudgetPrefix(make([]byte, 0, deadlinePrefixLen+len(frame)), bs.remaining())
+			attemptFrame = append(pf, frame...)
+		}
+		resp, err := c.sendOnce(ctx, tr, ep, attemptFrame)
 		attempts++
 		if err == nil {
 			hs.Breaker(ep).Success()
 			if ep != addr {
 				reg.Counter("hrpc_client_failovers_total").Inc()
 			}
-			return resp, nil
+			return resp, ep, nil
 		}
 		// A RemoteError is a live server saying no; retransmitting
 		// cannot help, and the endpoint is healthy.
 		var re *transport.RemoteError
 		if errors.As(err, &re) {
 			hs.Breaker(ep).Success()
-			return nil, err
+			return nil, ep, err
 		}
 		// A dead context: surface immediately, charging nothing — the
 		// caller gave up, not the endpoint.
 		if ctx.Err() != nil {
-			return nil, err
+			return nil, ep, err
 		}
 		c.recordFailure(hs, ep, err)
 		if idx < 64 {
@@ -472,7 +574,7 @@ func (c *Client) roundTrip(ctx context.Context, tr transport.Transport, addr str
 		if wait > remaining {
 			simtime.Charge(ctx, remaining)
 			reg.Counter("hrpc_client_timeouts_total").Inc()
-			return nil, &CallTimeout{Addr: addr, Attempts: attempts, LastErr: err}
+			return nil, "", &CallTimeout{Addr: addr, Attempts: attempts, LastErr: err}
 		}
 		simtime.Charge(ctx, wait)
 		remaining -= wait

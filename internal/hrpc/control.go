@@ -11,11 +11,18 @@ import (
 )
 
 // CallHeader is the control-protocol-independent view of a call header.
+//
+// Budget is the caller's remaining deadline, when the call carried one.
+// It is NOT part of any control protocol's wire layout (those formats
+// are byte-pinned for old peers); it rides the sniffable frame prefix
+// described in deadline.go, and is zero for calls without one.
 type CallHeader struct {
 	XID       uint32
 	Program   uint32
 	Version   uint32
 	Procedure uint32
+
+	Budget time.Duration
 }
 
 // ReplyHeader is the control-protocol-independent view of a reply header.

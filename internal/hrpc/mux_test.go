@@ -105,7 +105,7 @@ func TestMuxTeardownOneBreakerFailure(t *testing.T) {
 
 			// Warm-up call: establishes and pools the one connection all
 			// the doomed calls will share.
-			if _, err := c.roundTrip(ctx, tr, addr, []byte("warm")); err != nil {
+			if _, _, err := c.roundTrip(ctx, tr, addr, []byte("warm"), budgetState{}); err != nil {
 				t.Fatalf("warm-up call: %v", err)
 			}
 
@@ -115,7 +115,7 @@ func TestMuxTeardownOneBreakerFailure(t *testing.T) {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					_, errs[i] = c.roundTrip(ctx, tr, addr, []byte("doomed"))
+					_, _, errs[i] = c.roundTrip(ctx, tr, addr, []byte("doomed"), budgetState{})
 				}(i)
 			}
 			wg.Wait()
@@ -176,7 +176,7 @@ func TestMuxPoolIdleEviction(t *testing.T) {
 
 	call := func() {
 		t.Helper()
-		if _, err := c.roundTrip(context.Background(), ct, "idle:1", []byte("ping")); err != nil {
+		if _, _, err := c.roundTrip(context.Background(), ct, "idle:1", []byte("ping"), budgetState{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -240,7 +240,7 @@ func TestMuxClientCloseIdle(t *testing.T) {
 	ctx := context.Background()
 
 	call := func(addr, payload string) error {
-		_, err := c.roundTrip(ctx, ct, addr, []byte(payload))
+		_, _, err := c.roundTrip(ctx, ct, addr, []byte(payload), budgetState{})
 		return err
 	}
 	if err := call("ci-a:1", "ping"); err != nil {
@@ -324,7 +324,7 @@ func TestMuxPoolGrowsAtStreamCap(t *testing.T) {
 	done := make(chan error, 3)
 	start := func() {
 		go func() {
-			_, err := c.roundTrip(context.Background(), ct, "grow:1", []byte("ping"))
+			_, _, err := c.roundTrip(context.Background(), ct, "grow:1", []byte("ping"), budgetState{})
 			done <- err
 		}()
 	}

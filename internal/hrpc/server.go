@@ -2,6 +2,7 @@ package hrpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hns/internal/admission"
 	"hns/internal/bufpool"
 	"hns/internal/cache"
 	"hns/internal/marshal"
@@ -42,7 +44,21 @@ type Server struct {
 	// procedures are answered from stored encoded results, skipping
 	// demarshal → handler → marshal. Installed via EnableReplyCache.
 	replies atomic.Pointer[replyCache]
+
+	// admit, when non-nil, is the server's front door: every decoded
+	// call asks it before any work happens, keyed by the transport's
+	// peer identity. Installed via EnableAdmission.
+	admit *admission.Controller
+
+	// AdmitPriority classifies a procedure for priority shedding; nil
+	// means everything is admission.High. Set before serving.
+	AdmitPriority func(proc uint32) admission.Priority
 }
+
+// EnableAdmission installs an admission controller: calls are admitted
+// or shed (with a typed Overloaded reply) before demarshalling. Call
+// before serving.
+func (s *Server) EnableAdmission(ctl *admission.Controller) { s.admit = ctl }
 
 // replyCache memoizes marshalled results keyed by (data rep, procedure,
 // raw argument bytes).
@@ -189,13 +205,22 @@ func (s *Server) Register(p Procedure, h ProcHandler) {
 func (s *Server) Handler(rep marshal.DataRep, ctl ControlProtocol, model *simtime.Model) transport.Handler {
 	reg := s.registry()
 	faults := reg.Counter(metrics.Labels("hrpc_server_faults_total", "server", s.name))
+	sheds := reg.Counter(metrics.Labels("hrpc_server_budget_shed_total", "server", s.name))
 	return func(ctx context.Context, reqFrame []byte) ([]byte, error) {
+		// A deadline-propagating caller prefixed its remaining budget;
+		// strip it before the control protocol sees the frame. Callers
+		// without the extension parse exactly as before.
+		budget, bare, hasBudget := stripBudgetPrefix(reqFrame)
+		if hasBudget {
+			reqFrame = bare
+		}
 		ch, argBytes, err := ctl.DecodeCall(reqFrame)
 		if err != nil {
 			// Unparseable frame: we cannot even form a matching reply.
 			faults.Inc()
 			return nil, err
 		}
+		ch.Budget = budget
 		reply := func(errMsg string, results []byte) ([]byte, error) {
 			if errMsg != "" {
 				faults.Inc()
@@ -216,6 +241,38 @@ func (s *Server) Handler(rep marshal.DataRep, ctl ControlProtocol, model *simtim
 		}
 		reg.Counter(metrics.Labels("hrpc_server_calls_total",
 			"server", s.name, "proc", sp.p.Name)).Inc()
+
+		// Admission first, budget second — both before demarshalling, so
+		// shed work costs the server a header parse and nothing more.
+		if s.admit != nil {
+			pri := admission.High
+			if s.AdmitPriority != nil {
+				pri = s.AdmitPriority(ch.Procedure)
+			}
+			peer := transport.PeerFrom(ctx)
+			if peer == "" {
+				peer = "anon"
+			}
+			if aerr := s.admit.Admit(peer, pri); aerr != nil {
+				var ov *admission.Overloaded
+				if errors.As(aerr, &ov) {
+					return ctl.EncodeReply(ReplyHeader{XID: ch.XID, Err: encodeOverloadedErr(ov)}, nil)
+				}
+				return reply(aerr.Error(), nil)
+			}
+			defer s.admit.Done()
+		}
+		if hasBudget {
+			if budget <= 0 {
+				// The caller's deadline passed before dispatch: computing
+				// this reply would be pure waste. Shed it.
+				sheds.Inc()
+				return ctl.EncodeReply(ReplyHeader{XID: ch.XID, Err: encodeExpiredErr(sp.p.Name)}, nil)
+			}
+			// Hand the budget to the handler so a nested client (a
+			// gateway forwarding this call) can propagate what remains.
+			ctx = WithBudget(ctx, budget)
+		}
 
 		// Reply cache: a repeat of the identical request for a cacheable
 		// procedure is answered from the stored marshalled result — only

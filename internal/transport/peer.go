@@ -1,0 +1,31 @@
+package transport
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Peer identity. Handlers run with a context carrying the calling
+// connection's peer address — the remote socket address on the real
+// transports, a per-connection synthetic identity on the simulated ones —
+// so server-side policy (admission control's per-client token buckets)
+// can tell callers apart without the wire protocols growing an identity
+// field.
+
+type peerCtxKey struct{}
+
+// WithPeer returns a context carrying the caller's peer identity.
+func WithPeer(ctx context.Context, peer string) context.Context {
+	return context.WithValue(ctx, peerCtxKey{}, peer)
+}
+
+// PeerFrom reports the peer identity in ctx; empty when the transport
+// did not record one.
+func PeerFrom(ctx context.Context) string {
+	p, _ := ctx.Value(peerCtxKey{}).(string)
+	return p
+}
+
+// simPeerSeq numbers simulated connections so each Dial gets a distinct
+// peer identity, mirroring the distinct ephemeral ports real sockets get.
+var simPeerSeq atomic.Uint64

@@ -74,7 +74,10 @@ func (t *simTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 	}
 	_, setup := t.costs(t.net.model)
 	simtime.Charge(ctx, time.Duration(setup))
-	return &simConn{t: t, addr: addr, ep: ep, serial: !t.mux.Load()}, nil
+	return &simConn{
+		t: t, addr: addr, ep: ep, serial: !t.mux.Load(),
+		peer: fmt.Sprintf("sim!%d", simPeerSeq.Add(1)),
+	}, nil
 }
 
 type simListener struct {
@@ -106,7 +109,8 @@ type simConn struct {
 	t      *simTransport
 	addr   string
 	ep     *simEndpoint
-	serial bool // captured at Dial: hold the conn for the whole round trip
+	serial bool   // captured at Dial: hold the conn for the whole round trip
+	peer   string // synthetic caller identity handed to the handler
 
 	mu     sync.Mutex
 	closed bool
@@ -149,7 +153,7 @@ func (c *simConn) Call(ctx context.Context, req []byte) ([]byte, error) {
 	c.t.obs.tx(len(req))
 
 	serverMeter := simtime.NewMeter()
-	resp, err := c.ep.handler(simtime.WithMeter(context.Background(), serverMeter), req)
+	resp, err := c.ep.handler(WithPeer(simtime.WithMeter(context.Background(), serverMeter), c.peer), req)
 	simtime.Charge(ctx, serverMeter.Elapsed())
 	if err != nil {
 		return nil, &RemoteError{Msg: err.Error()}

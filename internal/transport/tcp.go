@@ -156,7 +156,7 @@ func (l *tcpListener) serveConnSerial(c net.Conn, firstLen uint32) {
 			return // EOF or broken peer; drop the connection.
 		}
 		meter := simtime.NewMeter()
-		resp, herr := l.h(simtime.WithMeter(context.Background(), meter), req)
+		resp, herr := l.h(WithPeer(simtime.WithMeter(context.Background(), meter), c.RemoteAddr().String()), req)
 		// Prefix and body in one pooled buffer, one Write, one copy.
 		// The request buffer is recycled only after the reply is encoded:
 		// a handler may legally return a subslice of its request.
@@ -184,6 +184,7 @@ func (l *tcpListener) serveConnMux(c net.Conn) {
 		wmu sync.Mutex // serializes response writes onto the shared stream
 		wg  sync.WaitGroup
 	)
+	peer := c.RemoteAddr().String()
 	defer func() {
 		// Drain in-flight handlers before closing so none writes to a
 		// closed socket it still believes healthy; their Write errors are
@@ -200,7 +201,7 @@ func (l *tcpListener) serveConnMux(c net.Conn) {
 		go func(tag uint32, req []byte) {
 			defer wg.Done()
 			meter := simtime.NewMeter()
-			resp, herr := l.h(simtime.WithMeter(context.Background(), meter), req)
+			resp, herr := l.h(WithPeer(simtime.WithMeter(context.Background(), meter), peer), req)
 			out, err := encodeMuxReplyFramed(tag, meter.Elapsed(), resp, herr)
 			bufpool.Put(req) // after encoding: resp may alias the request
 			if err != nil {

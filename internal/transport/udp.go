@@ -170,7 +170,7 @@ func (l *udpListener) serveLoop() {
 				payload = req[8:n]
 			}
 			meter := simtime.NewMeter()
-			resp, herr := l.h(simtime.WithMeter(context.Background(), meter), payload)
+			resp, herr := l.h(WithPeer(simtime.WithMeter(context.Background(), meter), peer.String()), payload)
 			var body []byte
 			if tagged {
 				body = appendReply(binary.BigEndian.AppendUint32(bufpool.Get(13+len(resp)), tag),

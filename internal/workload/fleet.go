@@ -6,7 +6,8 @@
 //	per-host resolver  →  site hnsd  →  authoritative bindd
 //
 // so per-tier hit ratios are first-class results rather than a byproduct
-// of one shared cache counter.
+// of one shared cache counter. An opt-in fourth tier (FleetSpec.Gateway)
+// fronts every remote site's hnsd with an admission-controlled hnsgw.
 //
 // Every fleet run is two passes over *fresh* worlds built from the same
 // seeded spec:
@@ -36,9 +37,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hns/internal/admission"
 	"hns/internal/bind"
 	"hns/internal/colocate"
 	"hns/internal/core"
+	"hns/internal/gateway"
+	"hns/internal/hrpc"
 	"hns/internal/metrics"
 	"hns/internal/names"
 	"hns/internal/qclass"
@@ -99,6 +103,51 @@ func peakSlot(d Diurnal) int {
 	return best
 }
 
+// GatewayTier configures the optional fourth tier: an hnsgw front door
+// interposed between clients and every remote site's hnsd, so the
+// hierarchy becomes
+//
+//	per-host resolver → hnsgw → site hnsd → authoritative bindd
+//
+// Each remote site gets its own gateway (and admission controller) on
+// the site's metrics registry; sites whose arrangement links the HNS
+// into the client process have no wire hop to front and are unchanged.
+// A nil GatewayTier (the default) leaves the fleet exactly as before,
+// which is what keeps BENCH_scale.json bit-identical.
+type GatewayTier struct {
+	// Rate and Burst are per-client admission limits at each gateway
+	// (requests/sec and bucket depth); Rate <= 0 disables rate limiting.
+	Rate, Burst float64
+	// MaxInflight caps concurrently admitted calls per gateway; <= 0
+	// disables the load cap.
+	MaxInflight int
+	// LowWatermark is the fraction of MaxInflight past which batch
+	// (Low-priority) calls shed; <= 0 means no priority distinction.
+	LowWatermark float64
+	// RetryAfter is the backoff hint carried in Overloaded replies;
+	// <= 0 means the admission default.
+	RetryAfter time.Duration
+	// PropagateDeadline forwards caller budgets across the gateways.
+	PropagateDeadline bool
+}
+
+// enabled reports whether any admission limit is configured (without
+// one the gateway still forwards, it just never sheds).
+func (g *GatewayTier) admissionConfig(clk *simtime.FakeClock, reg *metrics.Registry) *admission.Config {
+	if g.Rate <= 0 && g.MaxInflight <= 0 {
+		return nil
+	}
+	return &admission.Config{
+		Rate:         g.Rate,
+		Burst:        g.Burst,
+		MaxInflight:  g.MaxInflight,
+		LowWatermark: g.LowWatermark,
+		RetryAfter:   g.RetryAfter,
+		Clock:        clk,
+		Metrics:      reg,
+	}
+}
+
 // FleetSpec describes one simulated fleet.
 type FleetSpec struct {
 	// Sites is how many sites the population spreads over; each site
@@ -119,6 +168,10 @@ type FleetSpec struct {
 	Diurnal Diurnal
 	// Workers bounds the wall pass's concurrency; <= 0 means 16.
 	Workers int
+	// Gateway, when non-nil, fronts every remote site's hnsd with an
+	// admission-controlled hnsgw (the optional fourth tier). Nil — the
+	// default — changes nothing.
+	Gateway *GatewayTier
 }
 
 func (s FleetSpec) base() Spec {
@@ -147,6 +200,20 @@ func (s FleetSpec) Validate() error {
 		return fmt.Errorf("workload: diurnal slot step must be >= 0")
 	case s.Workers < 0:
 		return fmt.Errorf("workload: workers must be >= 0")
+	}
+	if g := s.Gateway; g != nil {
+		switch {
+		case math.IsNaN(g.Rate) || g.Rate < 0:
+			return fmt.Errorf("workload: gateway rate must be >= 0")
+		case math.IsNaN(g.Burst) || g.Burst < 0:
+			return fmt.Errorf("workload: gateway burst must be >= 0")
+		case g.MaxInflight < 0:
+			return fmt.Errorf("workload: gateway max-inflight must be >= 0")
+		case math.IsNaN(g.LowWatermark) || g.LowWatermark < 0 || g.LowWatermark > 1:
+			return fmt.Errorf("workload: gateway low watermark must be in [0, 1]")
+		case g.RetryAfter < 0:
+			return fmt.Errorf("workload: gateway retry-after must be >= 0")
+		}
 	}
 	return nil
 }
@@ -226,6 +293,9 @@ type FleetResult struct {
 	StaleOps int64
 	// Failures counts sim ops that returned an error.
 	Failures int
+	// GatewayShed counts calls the optional hnsgw tier refused with a
+	// typed Overloaded in the sim pass (always 0 when the tier is off).
+	GatewayShed int64
 	// Slots is the per-slot breakdown.
 	Slots []SlotStats
 
@@ -243,9 +313,10 @@ type FleetResult struct {
 	// (meta-cache misses net of Coalesced).
 	WallFetches int64
 	// WallStale and WallFailures mirror StaleOps/Failures for the wall
-	// pass.
-	WallStale    int64
-	WallFailures int
+	// pass; WallGatewayShed mirrors GatewayShed.
+	WallStale       int64
+	WallFailures    int
+	WallGatewayShed int64
 }
 
 // FleetHooks let a scenario customize a pass. All hooks are optional.
@@ -344,6 +415,7 @@ type fleetEnv struct {
 	clients   []fleetClient
 	slots     int
 	listeners []transport.Listener
+	gwClients []*hrpc.Client // per-site gateway upstream pools
 }
 
 func (e *fleetEnv) Close() {
@@ -352,6 +424,9 @@ func (e *fleetEnv) Close() {
 	}
 	for _, ln := range e.listeners {
 		ln.Close()
+	}
+	for _, c := range e.gwClients {
+		c.Close()
 	}
 	e.w.Close()
 }
@@ -403,6 +478,12 @@ func buildFleet(ctx context.Context, spec FleetSpec, setup FleetSetup) (*fleetEn
 				return nil, err
 			}
 			e.listeners = append(e.listeners, ln)
+			if spec.Gateway != nil {
+				b, err = e.frontWithGateway(spec.Gateway, clk, host, b, reg)
+				if err != nil {
+					return nil, err
+				}
+			}
 			st.finder = core.NewRemoteHNS(w.RPC, b)
 		}
 		e.sites = append(e.sites, st)
@@ -423,6 +504,39 @@ func buildFleet(ctx context.Context, spec FleetSpec, setup FleetSetup) (*fleetEn
 	}
 	ok = true
 	return e, nil
+}
+
+// frontWithGateway interposes an hnsgw between the fleet's clients and
+// a remote site's hnsd. Each site gets its own gateway, upstream client
+// pool, and (when limits are set) admission controller, all accounted
+// on the site's registry so per-site shed counts stay attributable.
+func (e *fleetEnv) frontWithGateway(g *GatewayTier, clk *simtime.FakeClock, host string, backend hrpc.Binding, reg *metrics.Registry) (hrpc.Binding, error) {
+	up := hrpc.NewClient(e.w.Net)
+	up.Metrics = reg
+	gw := gateway.New(up, backend, gateway.Config{
+		Name:              "hnsgw@" + host,
+		Admission:         g.admissionConfig(clk, reg),
+		PropagateDeadline: g.PropagateDeadline,
+	})
+	gw.SetMetrics(reg)
+	ln, b, err := gw.Serve(e.w.Net, hrpc.SuiteRaw, host+"-gw", host+":hnsgw")
+	if err != nil {
+		up.Close()
+		return hrpc.Binding{}, err
+	}
+	e.listeners = append(e.listeners, ln)
+	e.gwClients = append(e.gwClients, up)
+	return b, nil
+}
+
+// gatewayShed totals the admission sheds across every site's registry
+// (only the optional gateways register admission series).
+func (e *fleetEnv) gatewayShed() int64 {
+	var total int64
+	for i := range e.sites {
+		total += sumRegCounters(e.sites[i].reg, "admission_shed_total")
+	}
+	return total
 }
 
 // opName resolves the op's (possibly remapped) context to the FindNSM
@@ -538,6 +652,7 @@ func runFleetSim(ctx context.Context, spec FleetSpec, setup FleetSetup, res *Fle
 	res.Host.finish()
 	res.Site.finish()
 	res.Authority.finish()
+	res.GatewayShed = e.gatewayShed()
 	return nil
 }
 
@@ -626,6 +741,7 @@ func runFleetWall(ctx context.Context, spec FleetSpec, setup FleetSetup, res *Fl
 	res.Coalesced = coalesced
 	res.WallFetches = misses - coalesced
 	res.WallStale = stale
+	res.WallGatewayShed = e.gatewayShed()
 	return nil
 }
 

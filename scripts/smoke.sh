@@ -25,7 +25,10 @@ go test -race -run Mux -count=3 ./internal/transport ./internal/hrpc
 echo "--- fleet scenario tier: one tiny seeded config per scenario, raced"
 go test -race -run 'TestScenario' -count=3 ./internal/workload
 
-echo "--- coverage floors: internal/workload and internal/health"
+echo "--- shed tier: 10k-caller crowd against the admission cap, raced"
+go test -race -count=1 -run 'TestBatchShed10K' ./internal/experiments
+
+echo "--- coverage floors: internal/workload, internal/health, internal/admission"
 cover() {
   local pkg=$1 floor=$2
   local pct
@@ -36,6 +39,7 @@ cover() {
 }
 cover ./internal/workload 87
 cover ./internal/health 83
+cover ./internal/admission 80
 
 echo "--- chaos tier: seeded failure injection (make chaos)"
 make chaos
@@ -95,6 +99,23 @@ grep -q 'cache_' <<<"$out" || { echo "SMOKE FAILED: stats lacks cache series"; e
 
 echo "--- meta zone dump"
 ./hnsctl dump -meta 127.0.0.1:5301
+
+# ---- Part 1b: the admission-controlled front door. Resolve through an
+# hnsgw that fronts the hnsd, then read its admission counters back.
+./hnsgw -addr 127.0.0.1:5340 -backend 127.0.0.1:5310 \
+        -rate 100 -max-inflight 64 -metrics 127.0.0.1:5341 >gw.log 2>&1 &
+echo $! >> pids
+sleep 0.3
+
+echo "--- resolve through the hnsgw front door"
+out=$(./hnsctl resolve -hns 127.0.0.1:5340 hostaddr-bind fiji.cs.washington.edu)
+echo "$out"
+grep -q '127.0.0.1' <<<"$out" || { echo "SMOKE FAILED: resolve through hnsgw"; exit 1; }
+
+echo "--- admission state via hnsctl admit"
+out=$(./hnsctl admit -from 127.0.0.1:5341)
+echo "$out"
+grep -q 'hnsgw' <<<"$out" || { echo "SMOKE FAILED: admit lacks the hnsgw row"; exit 1; }
 
 # ---- Part 2: the Clearinghouse world + the HCS application services.
 ./chd -host xerox -addr 127.0.0.1:5303 -open >chd.log 2>&1 &
