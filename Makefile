@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-parallel bench-alloc bench-scale bench-batch fuzz smoke chaos examples harness regen outputs
+.PHONY: all build vet test race bench bench-parallel bench-alloc bench-scale bench-batch bench-durable fuzz smoke chaos examples harness regen outputs
 
 all: build vet test
 
@@ -41,6 +41,11 @@ bench-scale:
 bench-batch:
 	go run ./cmd/hnsbench -prose batch
 
+# The durability experiment: fsync-policy cost and checkpointed recovery
+# time on a real directory, written to BENCH_durable.json.
+bench-durable:
+	go run ./cmd/hnsbench -prose durable
+
 # Short exploratory fuzzing over every wire codec.
 fuzz:
 	go test -fuzz FuzzDecodeMessage -fuzztime 15s ./internal/bind/
@@ -52,6 +57,8 @@ fuzz:
 	go test -fuzz FuzzCourierDecode -fuzztime 10s ./internal/marshal/
 	go test -fuzz FuzzFindBatchDecode -fuzztime 10s ./internal/core/
 	go test -fuzz FuzzSpecValidate -fuzztime 10s ./internal/workload/
+	go test -fuzz FuzzWALDecode -fuzztime 10s ./internal/store/
+	go test -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/store/
 
 # Multi-process deployment over real sockets.
 smoke:

@@ -20,6 +20,18 @@
 //	bindd -host tahoma2 -zone hns -secondary 127.0.0.1:5301 \
 //	      -refresh 30s -hrpc 127.0.0.1:5311
 //
+// With -data-dir, bindd is crash-safe: every acknowledged update (or
+// applied transfer) is appended to a write-ahead log under the data
+// directory before the reply goes out, checkpointed every
+// -snapshot-every records, and recovered on restart to exactly the
+// acknowledged prefix. -fsync picks the flush policy: "always" (default;
+// an acked update survives even kill -9), "interval" (flushes every
+// -fsync-interval; bounded loss window), or "never" (left to the OS). A
+// restarted -secondary with a data dir resumes from its persisted mirror
+// and serial — a serial probe instead of a cold full transfer. Without
+// -data-dir nothing touches disk, exactly the in-memory BIND the paper
+// measured.
+//
 // Zone files use the line format of internal/bind.ParseZoneFile:
 //
 //	name  ttl  type  data...
@@ -39,6 +51,7 @@ import (
 	"hns/internal/hrpc"
 	"hns/internal/metrics"
 	"hns/internal/simtime"
+	"hns/internal/store"
 	"hns/internal/transport"
 )
 
@@ -60,6 +73,11 @@ func main() {
 		secAddr  = flag.String("secondary", "", "mirror the zone from this primary bindd HRPC address (TCP) instead of serving authoritatively")
 		refresh  = flag.Duration("refresh", 30*time.Second, "serial-check interval in -secondary mode")
 		replyTTL = flag.Duration("reply-cache", 0, "answer repeat identical requests from cached pre-marshalled replies for this long (0 disables); invalidated on update and zone transfer")
+
+		dataDir   = flag.String("data-dir", "", "persist zones here (WAL + snapshots) and recover on restart; empty keeps everything in memory")
+		fsyncMode = flag.String("fsync", "always", "WAL flush policy with -data-dir: always, interval, or never")
+		fsyncIntv = flag.Duration("fsync-interval", 100*time.Millisecond, "flush period under -fsync=interval")
+		snapEvery = flag.Int("snapshot-every", 1024, "checkpoint the zone set after this many journaled records (0 disables snapshots)")
 	)
 	flag.Var(&zones, "zone", "zone origin to be authoritative for (repeatable)")
 	mux := flag.Bool("mux", true, "dial multiplexed connections (tagged frames, many in-flight calls per socket); disable to speak the legacy serialized framing to pre-mux peers")
@@ -80,6 +98,37 @@ func main() {
 	model := simtime.Default()
 	net := transport.NewNetwork(model)
 	net.SetMux(*mux)
+
+	// Crash safety: open the durable store (recovering any prior state)
+	// before any zone exists, so recovered contents overlay the declared
+	// zones and every later mutation is journaled.
+	var durable *bind.Durable
+	if *dataDir != "" {
+		policy, err := store.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("bindd: %v", err)
+		}
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("bindd: %v", err)
+		}
+		fs, err := store.DirFS(*dataDir)
+		if err != nil {
+			log.Fatalf("bindd: %v", err)
+		}
+		durable, err = bind.OpenDurable(bind.DurableConfig{
+			FS:            fs,
+			Name:          *host,
+			Fsync:         policy,
+			FsyncInterval: *fsyncIntv,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			log.Fatalf("bindd: opening %s: %v", *dataDir, err)
+		}
+		st := durable.Stats()
+		log.Printf("bindd: recovered %s in %s (snapshot lsn %d, %d wal records replayed, %d torn bytes dropped)",
+			*dataDir, st.Elapsed.Round(time.Millisecond), st.SnapshotLSN, st.Replayed, st.TornBytes)
+	}
 
 	var srv *bind.Server
 	if *secAddr != "" {
@@ -104,6 +153,24 @@ func main() {
 			log.Fatalf("bindd: %v", err)
 		}
 		srv = sec.Server()
+		if durable != nil {
+			// Resume the mirror from disk: the next Refresh is a serial
+			// probe, not a cold full transfer, when the primary is where
+			// we left it.
+			for _, rz := range durable.Zones() {
+				if rz.Origin != srv.Zone(zones[0]).Origin() {
+					log.Printf("bindd: ignoring recovered zone %s (not mirrored here)", rz.Origin)
+					continue
+				}
+				if err := sec.Restore(rz.Serial, rz.Records); err != nil {
+					log.Fatalf("bindd: restoring mirror %s: %v", rz.Origin, err)
+				}
+				log.Printf("bindd: restored mirror %s at serial %d (%d records)",
+					rz.Origin, rz.Serial, len(rz.Records))
+			}
+			durable.Attach(srv)
+			sec.SetJournal(durable)
+		}
 		if _, err := sec.Refresh(context.Background()); err != nil {
 			// A dead primary at startup is survivable: keep serving the
 			// (empty) zone and keep trying — that is the point of a mirror.
@@ -146,7 +213,25 @@ func main() {
 				log.Fatalf("bindd: %v", err)
 			}
 		}
-		if *records != "" {
+		freshStore := durable == nil || durable.Empty()
+		if durable != nil {
+			for _, rz := range durable.Zones() {
+				z := srv.Zone(rz.Origin)
+				if z == nil {
+					// State for a zone no -zone flag declares: keep it on
+					// disk (a later run may declare it) but don't serve it.
+					log.Printf("bindd: recovered zone %s not declared with -zone; not serving it", rz.Origin)
+					continue
+				}
+				if err := z.Replace(rz.Records, rz.Serial); err != nil {
+					log.Fatalf("bindd: overlaying recovered zone %s: %v", rz.Origin, err)
+				}
+				log.Printf("bindd: zone %s restored at serial %d (%d records)",
+					rz.Origin, rz.Serial, len(rz.Records))
+			}
+			durable.Attach(srv)
+		}
+		if *records != "" && freshStore {
 			f, err := os.Open(*records)
 			if err != nil {
 				log.Fatalf("bindd: %v", err)
@@ -160,6 +245,8 @@ func main() {
 				log.Fatalf("bindd: %v", err)
 			}
 			log.Printf("bindd: loaded %d records from %s", len(rrs), *records)
+		} else if *records != "" {
+			log.Printf("bindd: %s has recovered state; skipping -records (delete the data dir to reseed)", *dataDir)
 		}
 	}
 
@@ -187,6 +274,16 @@ func main() {
 
 	waitForSignal()
 	log.Println("bindd: shutting down")
+	if durable != nil {
+		// A parting checkpoint makes the next recovery instant; failure
+		// only means the restart replays the WAL instead.
+		if err := durable.Snapshot(); err != nil {
+			log.Printf("bindd: final snapshot: %v", err)
+		}
+		if err := durable.Close(); err != nil {
+			log.Printf("bindd: closing store: %v", err)
+		}
+	}
 }
 
 func waitForSignal() {

@@ -69,6 +69,8 @@ func main() {
 		err = cmdDump(env, args)
 	case "stats":
 		err = cmdStats(args)
+	case "store":
+		err = cmdStore(args)
 	case "health":
 		err = cmdHealth(args)
 	case "admit":
@@ -83,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump|stats|health|admit} [flags] args...")
+	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump|stats|store|health|admit} [flags] args...")
 	os.Exit(2)
 }
 

@@ -1,0 +1,372 @@
+package bind
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hns/internal/metrics"
+	"hns/internal/store"
+)
+
+// Durable is the ZoneStore that makes a bindd crash-safe: every zone
+// mutation is appended to a write-ahead log before it is acknowledged,
+// and every SnapshotEvery records the full zone set is checkpointed so
+// recovery replays a bounded suffix. Opening a Durable recovers exactly
+// the acknowledged-update prefix: the newest valid snapshot is loaded,
+// the WAL is replayed past it (a torn tail — the unacked final write of
+// a crash — is discarded), and each replayed update pins the zone serial
+// the original caller saw.
+//
+// Snapshot payloads are the zone-file master format, sectioned per zone:
+//
+//	zone <origin> serial <serial> records <n>
+//	<n WriteZone lines>
+//
+// so a snapshot is human-readable and reuses the exact ParseZoneFile
+// round trip the zone-file loader is tested against.
+
+// DurableConfig configures OpenDurable.
+type DurableConfig struct {
+	// FS is the directory holding WAL segments and snapshots
+	// (store.DirFS in the daemon; MemFS/FaultFS in the crash harness).
+	FS store.FS
+	// Name labels this store's metric series; empty disables metrics.
+	Name string
+	// Fsync is the WAL flush policy (default store.SyncAlways — only
+	// that policy gives the exact-acked-prefix guarantee).
+	Fsync store.SyncPolicy
+	// FsyncInterval is the flush period under SyncInterval.
+	FsyncInterval time.Duration
+	// SnapshotEvery checkpoints after this many journal records
+	// (0 disables snapshots: recovery replays the whole log).
+	SnapshotEvery int
+	// SegmentBytes sizes WAL segments (0 = store default).
+	SegmentBytes int64
+}
+
+// RecoveredZone is one zone's state as recovered from disk.
+type RecoveredZone struct {
+	Origin  string
+	Serial  uint32
+	Records []RR
+}
+
+// RecoveryStats describes what opening the store had to do.
+type RecoveryStats struct {
+	// SnapshotLSN is the checkpoint recovery started from (0 = none).
+	SnapshotLSN uint64
+	// SnapshotsSkipped counts invalid (bitrotted/partial) snapshots
+	// passed over to find a valid one.
+	SnapshotsSkipped int
+	// Replayed counts WAL records applied past the snapshot.
+	Replayed int
+	// TornBytes is the torn-tail length discarded (unacked final write).
+	TornBytes int64
+	// Elapsed is the wall-clock recovery time.
+	Elapsed time.Duration
+}
+
+// Durable implements ZoneStore over a store.Log plus snapshots.
+type Durable struct {
+	cfg DurableConfig
+	log *store.Log
+
+	mu        sync.Mutex
+	srv       *Server // snapshot source once attached
+	recovered map[string]*Zone
+	order     []string // recovery order of origins, deterministic output
+	sinceSnap int
+	snapLSN   uint64
+	stats     RecoveryStats
+	closed    bool
+}
+
+// OpenDurable opens (or initializes) the store under cfg.FS and recovers
+// zone state: newest valid snapshot, then WAL replay. Interior log or
+// snapshot damage is store.ErrCorrupt; a torn WAL tail is tolerated and
+// reported in Stats.
+func OpenDurable(cfg DurableConfig) (*Durable, error) {
+	t0 := time.Now()
+	if cfg.FsyncInterval <= 0 {
+		cfg.FsyncInterval = 100 * time.Millisecond
+	}
+	d := &Durable{cfg: cfg, recovered: make(map[string]*Zone)}
+
+	snap, err := store.LatestSnapshot(cfg.FS)
+	if err != nil {
+		return nil, err
+	}
+	d.snapLSN = snap.LSN
+	d.stats.SnapshotLSN = snap.LSN
+	d.stats.SnapshotsSkipped = snap.Skipped
+	if snap.LSN > 0 {
+		if err := d.loadSnapshot(snap.Payload); err != nil {
+			return nil, err
+		}
+	}
+
+	log, err := store.OpenLog(cfg.FS, store.LogOptions{
+		Name:         cfg.Name,
+		Sync:         cfg.Fsync,
+		SyncEvery:    cfg.FsyncInterval,
+		SegmentBytes: cfg.SegmentBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.log = log
+	lst := log.Stats()
+	d.stats.TornBytes = lst.TornBytes
+	if lst.LastLSN > snap.LSN && lst.FirstLSN > snap.LSN+1 {
+		log.Close()
+		return nil, fmt.Errorf("%w: wal starts at lsn %d but snapshot covers only %d",
+			store.ErrCorrupt, lst.FirstLSN, snap.LSN)
+	}
+	if err := log.Replay(snap.LSN, d.apply); err != nil {
+		log.Close()
+		return nil, err
+	}
+	d.stats.Elapsed = time.Since(t0)
+	if cfg.Name != "" {
+		reg := metrics.Default()
+		reg.Gauge(metrics.Labels("store_recovery_replayed", "store", cfg.Name)).
+			Set(int64(d.stats.Replayed))
+		reg.Gauge(metrics.Labels("store_recovery_torn_bytes", "store", cfg.Name)).
+			Set(d.stats.TornBytes)
+		reg.Gauge(metrics.Labels("store_recovery_ms", "store", cfg.Name)).
+			Set(d.stats.Elapsed.Milliseconds())
+		reg.Gauge(metrics.Labels("store_snapshot_skipped", "store", cfg.Name)).
+			Set(int64(snap.Skipped))
+	}
+	return d, nil
+}
+
+// loadSnapshot parses the sectioned zone-file payload into zones.
+func (d *Durable) loadSnapshot(payload []byte) error {
+	sc := bufio.NewScanner(bytes.NewReader(payload))
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) != 6 || f[0] != "zone" || f[2] != "serial" || f[4] != "records" {
+			return fmt.Errorf("%w: bad snapshot section header %q", store.ErrCorrupt, sc.Text())
+		}
+		serial, err := strconv.ParseUint(f[3], 10, 32)
+		if err != nil {
+			return fmt.Errorf("%w: bad snapshot serial %q", store.ErrCorrupt, f[3])
+		}
+		n, err := strconv.Atoi(f[5])
+		if err != nil || n < 0 {
+			return fmt.Errorf("%w: bad snapshot record count %q", store.ErrCorrupt, f[5])
+		}
+		var lines strings.Builder
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				return fmt.Errorf("%w: snapshot section %s truncated at record %d", store.ErrCorrupt, f[1], i)
+			}
+			lines.WriteString(sc.Text())
+			lines.WriteByte('\n')
+		}
+		rrs, err := ParseZoneFile(strings.NewReader(lines.String()))
+		if err != nil {
+			return fmt.Errorf("%w: snapshot zone %s: %v", store.ErrCorrupt, f[1], err)
+		}
+		z, err := d.zone(f[1])
+		if err != nil {
+			return fmt.Errorf("%w: snapshot zone %q: %v", store.ErrCorrupt, f[1], err)
+		}
+		if err := z.Replace(rrs, uint32(serial)); err != nil {
+			return fmt.Errorf("%w: snapshot zone %s: %v", store.ErrCorrupt, f[1], err)
+		}
+	}
+	return sc.Err()
+}
+
+// zone finds or creates the recovery-time zone for origin.
+func (d *Durable) zone(origin string) (*Zone, error) {
+	if z, ok := d.recovered[origin]; ok {
+		return z, nil
+	}
+	z, err := NewZone(origin, true)
+	if err != nil {
+		return nil, err
+	}
+	d.recovered[z.Origin()] = z
+	d.order = append(d.order, z.Origin())
+	return z, nil
+}
+
+// apply replays one journal record into the recovery zones through the
+// real Zone mutation paths, so replay reproduces exactly the semantics
+// (CNAME conflicts, duplicate refresh, wildcard removal) the original
+// call had.
+func (d *Durable) apply(lsn uint64, payload []byte) error {
+	rec, err := decodeJournal(payload)
+	if err != nil {
+		return fmt.Errorf("%w: lsn %d: %v", store.ErrCorrupt, lsn, err)
+	}
+	_, existed := d.recovered[rec.zone]
+	z, err := d.zone(rec.zone)
+	if err != nil {
+		return fmt.Errorf("%w: lsn %d: %v", store.ErrCorrupt, lsn, err)
+	}
+	switch rec.kind {
+	case journalKindUpdate:
+		// Serials an acked update reported are strictly increasing per
+		// zone; a regression in the journal is damage, not history.
+		if existed && rec.serial <= z.Serial() {
+			return fmt.Errorf("%w: lsn %d: serial %d not after %d for %s",
+				store.ErrCorrupt, lsn, rec.serial, z.Serial(), rec.zone)
+		}
+		switch rec.op {
+		case UpdateAdd:
+			err = z.Add(rec.rr)
+		case UpdateRemove:
+			err = z.Remove(rec.rr)
+		default:
+			err = fmt.Errorf("unknown op %d", rec.op)
+		}
+		if err != nil {
+			return fmt.Errorf("%w: lsn %d: replaying %s: %v", store.ErrCorrupt, lsn, rec.zone, err)
+		}
+	case journalKindReplace:
+		if err := z.Replace(rec.rrs, rec.serial); err != nil {
+			return fmt.Errorf("%w: lsn %d: replaying %s: %v", store.ErrCorrupt, lsn, rec.zone, err)
+		}
+	}
+	// Pin the serial the original caller was told, whatever path the
+	// in-memory zone took to get here.
+	z.ForceSerial(rec.serial)
+	d.stats.Replayed++
+	return nil
+}
+
+// Zones returns the recovered zone states, in first-seen order.
+func (d *Durable) Zones() []RecoveredZone {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]RecoveredZone, 0, len(d.order))
+	for _, origin := range d.order {
+		z := d.recovered[origin]
+		out = append(out, RecoveredZone{Origin: origin, Serial: z.Serial(), Records: z.All()})
+	}
+	return out
+}
+
+// Empty reports whether the store held no state at all (fresh data dir).
+func (d *Durable) Empty() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapLSN == 0 && d.log.LastLSN() == 0
+}
+
+// Stats reports what recovery did.
+func (d *Durable) Stats() RecoveryStats { return d.stats }
+
+// LastLSN reports the newest journaled record's LSN.
+func (d *Durable) LastLSN() uint64 { return d.log.LastLSN() }
+
+// LogStats exposes the underlying WAL's shape.
+func (d *Durable) LogStats() store.LogStats { return d.log.Stats() }
+
+// Attach makes srv the snapshot source and routes its mutations through
+// this journal (srv.SetJournal). Call it after overlaying the recovered
+// state onto srv's zones; the recovery-time zones are released.
+func (d *Durable) Attach(srv *Server) {
+	d.mu.Lock()
+	d.srv = srv
+	d.recovered = nil
+	d.order = nil
+	d.mu.Unlock()
+	srv.SetJournal(d)
+}
+
+// LogUpdate implements ZoneStore: append one update record, then maybe
+// checkpoint. The record is durable per the fsync policy when this
+// returns nil; an error means the caller must not acknowledge.
+func (d *Durable) LogUpdate(zone string, op uint32, rr RR, serial uint32) error {
+	return d.append(encodeUpdate(zone, op, rr, serial))
+}
+
+// LogReplace implements ZoneStore for bulk loads and transfer applies.
+func (d *Durable) LogReplace(zone string, serial uint32, rrs []RR) error {
+	return d.append(encodeReplace(zone, serial, rrs))
+}
+
+func (d *Durable) append(payload []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return fmt.Errorf("bind: journal closed")
+	}
+	if _, err := d.log.Append(payload); err != nil {
+		return err
+	}
+	d.sinceSnap++
+	if d.cfg.SnapshotEvery > 0 && d.sinceSnap >= d.cfg.SnapshotEvery {
+		if err := d.snapshotLocked(); err != nil {
+			// The appended record is safe; a failed checkpoint only means
+			// recovery replays more. Retry at the next interval.
+			return nil
+		}
+	}
+	return nil
+}
+
+// Snapshot forces a checkpoint now (the daemon calls this on clean
+// shutdown so restart recovery is instant).
+func (d *Durable) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.snapshotLocked()
+}
+
+// snapshotLocked checkpoints the attached server's zones at the current
+// WAL position, then prunes covered segments and older snapshots. d.mu
+// held; callers of journaled mutations are serialized by the server's
+// journal lock, so the zone set is consistent with LastLSN.
+func (d *Durable) snapshotLocked() error {
+	if d.srv == nil {
+		return fmt.Errorf("bind: no server attached for snapshot")
+	}
+	var buf bytes.Buffer
+	for _, origin := range d.srv.ZoneOrigins() {
+		z := d.srv.Zone(origin)
+		if z == nil {
+			continue
+		}
+		rrs := z.All()
+		fmt.Fprintf(&buf, "zone %s serial %d records %d\n", origin, z.Serial(), len(rrs))
+		if err := WriteZone(&buf, rrs); err != nil {
+			return err
+		}
+	}
+	lsn := d.log.LastLSN()
+	if err := store.WriteSnapshot(d.cfg.FS, d.cfg.Name, lsn, buf.Bytes()); err != nil {
+		return err
+	}
+	d.sinceSnap = 0
+	d.snapLSN = lsn
+	if err := d.log.Prune(lsn); err != nil {
+		return err
+	}
+	return store.PruneSnapshots(d.cfg.FS, lsn)
+}
+
+// Sync forces the WAL to stable storage regardless of policy.
+func (d *Durable) Sync() error { return d.log.Sync() }
+
+// Close flushes and releases the store.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.log.Close()
+}

@@ -1,0 +1,288 @@
+package bind
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hns/internal/simtime"
+	"hns/internal/store"
+)
+
+// openDurableServer builds a Server with one updatable zone over fs and
+// attaches a Durable journal, overlaying any recovered state first —
+// the same sequence bindd runs at startup.
+func openDurableServer(t *testing.T, fs store.FS, origin string, cfg DurableConfig) (*Server, *Durable) {
+	t.Helper()
+	cfg.FS = fs
+	d, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	srv := NewServer("fiji", simtime.Default())
+	z, err := NewZone(origin, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	for _, rz := range d.Zones() {
+		target := srv.Zone(rz.Origin)
+		if target == nil {
+			t.Fatalf("recovered unknown zone %s", rz.Origin)
+		}
+		if err := target.Replace(rz.Records, rz.Serial); err != nil {
+			t.Fatalf("overlay %s: %v", rz.Origin, err)
+		}
+	}
+	d.Attach(srv)
+	return srv, d
+}
+
+func TestDurableUpdateSurvivesRestart(t *testing.T) {
+	fs := NewCrashFS(t)
+	srv, d := openDurableServer(t, fs, "hns", DurableConfig{})
+	ctx := context.Background()
+	var lastSerial uint32
+	for i := 0; i < 20; i++ {
+		rcode, serial, err := srv.Update(ctx, "hns", UpdateAdd, A(fmt.Sprintf("h%d.hns", i), fmt.Sprintf("10.0.0.%d", i), 60))
+		if err != nil || rcode != RCodeOK {
+			t.Fatalf("update %d: %v %v", i, rcode, err)
+		}
+		if serial <= lastSerial {
+			t.Fatalf("serial not monotonic: %d after %d", serial, lastSerial)
+		}
+		lastSerial = serial
+	}
+	if rcode, _, err := srv.Update(ctx, "hns", UpdateRemove, RR{Name: "h3.hns", Type: TypeA}); err != nil || rcode != RCodeOK {
+		t.Fatalf("remove: %v %v", rcode, err)
+	}
+	want := srv.Zone("hns").All()
+	d.Close()
+
+	srv2, d2 := openDurableServer(t, fs, "hns", DurableConfig{})
+	defer d2.Close()
+	z := srv2.Zone("hns")
+	if z.Serial() != lastSerial+1 {
+		t.Fatalf("recovered serial %d, want %d", z.Serial(), lastSerial+1)
+	}
+	got := z.All()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) || got[i].TTL != want[i].TTL {
+			t.Fatalf("record %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if st := d2.Stats(); st.Replayed != 21 {
+		t.Fatalf("replayed %d, want 21: %+v", st.Replayed, st)
+	}
+}
+
+// NewCrashFS returns a MemFS (the crash harness's disk image); a helper
+// so durable tests read naturally.
+func NewCrashFS(t *testing.T) *store.MemFS {
+	t.Helper()
+	return store.NewMemFS()
+}
+
+func TestDurableLoadRecordsJournaled(t *testing.T) {
+	fs := NewCrashFS(t)
+	srv, d := openDurableServer(t, fs, "cs.washington.edu", DurableConfig{})
+	if !d.Empty() {
+		t.Fatal("fresh store not empty")
+	}
+	rrs := []RR{
+		A("fiji.cs.washington.edu", "10.0.0.1", 600),
+		HINFO("fiji.cs.washington.edu", "MicroVAX-II/Unix", 600),
+	}
+	if err := srv.LoadRecords(rrs); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	srv2, d2 := openDurableServer(t, fs, "cs.washington.edu", DurableConfig{})
+	defer d2.Close()
+	if d2.Empty() {
+		t.Fatal("store empty after journaled load")
+	}
+	if n := srv2.Zone("cs.washington.edu").Count(); n != 2 {
+		t.Fatalf("recovered %d records, want 2", n)
+	}
+}
+
+func TestDurableSnapshotBoundsReplay(t *testing.T) {
+	fs := NewCrashFS(t)
+	srv, d := openDurableServer(t, fs, "hns", DurableConfig{SnapshotEvery: 5, SegmentBytes: 256})
+	ctx := context.Background()
+	for i := 0; i < 23; i++ {
+		if _, _, err := srv.Update(ctx, "hns", UpdateAdd, A(fmt.Sprintf("h%d.hns", i), "10.0.0.1", 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+
+	srv2, d2 := openDurableServer(t, fs, "hns", DurableConfig{SnapshotEvery: 5, SegmentBytes: 256})
+	defer d2.Close()
+	st := d2.Stats()
+	// 23 updates with a checkpoint every 5: the snapshot covers 20, so
+	// recovery replays only the last 3.
+	if st.SnapshotLSN != 20 || st.Replayed != 3 {
+		t.Fatalf("recovery stats %+v, want snapshot at 20 and 3 replayed", st)
+	}
+	if n := srv2.Zone("hns").Count(); n != 23 {
+		t.Fatalf("recovered %d records, want 23", n)
+	}
+	// Checkpoints prune covered WAL segments.
+	if ls := d2.LogStats(); ls.FirstLSN > 21 {
+		t.Fatalf("pruned too far: %+v", ls)
+	}
+}
+
+func TestDurableTornTailDropsUnacked(t *testing.T) {
+	fs := NewCrashFS(t)
+	srv, d := openDurableServer(t, fs, "hns", DurableConfig{})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, _, err := srv.Update(ctx, "hns", UpdateAdd, A(fmt.Sprintf("h%d.hns", i), "10.0.0.1", 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	// Simulate a crash mid-append: half a frame at the log's tail.
+	f, err := fs.Append("wal-0000000000000001.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 40, 1, 2})
+	f.Close()
+
+	srv2, d2 := openDurableServer(t, fs, "hns", DurableConfig{})
+	defer d2.Close()
+	st := d2.Stats()
+	if st.TornBytes != 6 || st.Replayed != 5 {
+		t.Fatalf("recovery stats %+v, want 6 torn bytes and 5 replayed", st)
+	}
+	if n := srv2.Zone("hns").Count(); n != 5 {
+		t.Fatalf("recovered %d records, want 5 (torn record resurrected?)", n)
+	}
+}
+
+func TestDurableInteriorCorruptionRefusesSilentLoss(t *testing.T) {
+	fs := NewCrashFS(t)
+	srv, d := openDurableServer(t, fs, "hns", DurableConfig{})
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, _, err := srv.Update(ctx, "hns", UpdateAdd, A(fmt.Sprintf("h%d.hns", i), "10.0.0.1", 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	if err := fs.Corrupt("wal-0000000000000001.log", 12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(DurableConfig{FS: fs}); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("open over corrupt interior: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDurableJournalFailureMeansNoAck(t *testing.T) {
+	mem := NewCrashFS(t)
+	plan := store.NewFaultPlan(5)
+	ffs := store.NewFaultFS(mem, plan)
+	srv, d := openDurableServer(t, ffs, "hns", DurableConfig{})
+	defer d.Close()
+	ctx := context.Background()
+	if _, _, err := srv.Update(ctx, "hns", UpdateAdd, A("a.hns", "10.0.0.1", 60)); err != nil {
+		t.Fatal(err)
+	}
+	plan.CrashAfterWrites(1, true)
+	rcode, _, err := srv.Update(ctx, "hns", UpdateAdd, A("b.hns", "10.0.0.2", 60))
+	if err == nil || rcode != RCodeServFail {
+		t.Fatalf("update with dead disk acked: %v %v", rcode, err)
+	}
+	// Restart from the surviving image: only the acked update is there.
+	srv2, d2 := openDurableServer(t, mem, "hns", DurableConfig{})
+	defer d2.Close()
+	if n := srv2.Zone("hns").Count(); n != 1 {
+		t.Fatalf("recovered %d records, want 1 (unacked update resurrected?)", n)
+	}
+}
+
+func TestSecondaryRestoreSkipsColdTransfer(t *testing.T) {
+	model := simtime.Default()
+	primary, cl, _ := newPrimary(t)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, _, err := primary.Update(ctx, "repl.test", UpdateAdd, A(fmt.Sprintf("h%d.repl.test", i), "10.0.0.1", 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sec, err := NewSecondary(cl, "repl.test", "fiji", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Journal the mirror; the first refresh is a full transfer.
+	fs := NewCrashFS(t)
+	d, err := OpenDurable(DurableConfig{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Attach(sec.Server())
+	sec.SetJournal(d)
+	if moved, err := sec.Refresh(ctx); err != nil || !moved {
+		t.Fatalf("first refresh: %v %v", moved, err)
+	}
+	if sec.Refreshes() != 1 {
+		t.Fatalf("refreshes = %d", sec.Refreshes())
+	}
+	wantSerial := sec.Serial()
+	d.Close()
+
+	// Restart: recover the mirror from disk, restore, and refresh. The
+	// primary hasn't moved, so no transfer happens — the serial probe is
+	// enough.
+	d2, err := OpenDurable(DurableConfig{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	sec2, err := NewSecondary(cl, "repl.test", "fiji", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := d2.Zones()
+	if len(zones) != 1 || zones[0].Origin != "repl.test" {
+		t.Fatalf("recovered zones %+v", zones)
+	}
+	if err := sec2.Restore(zones[0].Serial, zones[0].Records); err != nil {
+		t.Fatal(err)
+	}
+	d2.Attach(sec2.Server())
+	sec2.SetJournal(d2)
+	if sec2.Serial() != wantSerial {
+		t.Fatalf("restored serial %d, want %d", sec2.Serial(), wantSerial)
+	}
+	if moved, err := sec2.Refresh(ctx); err != nil || moved {
+		t.Fatalf("post-restore refresh transferred: moved=%v err=%v", moved, err)
+	}
+	if sec2.Refreshes() != 0 {
+		t.Fatalf("restored secondary paid %d transfers, want 0", sec2.Refreshes())
+	}
+	// newPrimary preloads 2 records; the 4 updates above make 6.
+	if n := sec2.Server().Zone("repl.test").Count(); n != 6 {
+		t.Fatalf("restored mirror has %d records, want 6", n)
+	}
+
+	// The primary moves: the next refresh transfers and re-journals.
+	if _, _, err := primary.Update(ctx, "repl.test", UpdateAdd, A("h9.repl.test", "10.0.0.9", 60)); err != nil {
+		t.Fatal(err)
+	}
+	if moved, err := sec2.Refresh(ctx); err != nil || !moved {
+		t.Fatalf("refresh after primary update: moved=%v err=%v", moved, err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 // RRType is a resource-record type code. Values follow the DNS assignments
@@ -130,7 +131,10 @@ func CanonicalName(name string) (string, error) {
 			return "", fmt.Errorf("%w: label %q exceeds 63 bytes", ErrBadName, label)
 		}
 		for _, c := range label {
-			if c == ' ' || c == '\t' || c == '\n' {
+			// Any Unicode whitespace, not just ASCII: the zone-file
+			// format tokenizes on unicode.IsSpace, so a name containing
+			// such a rune could never round-trip through a zone dump.
+			if unicode.IsSpace(c) {
 				return "", fmt.Errorf("%w: whitespace in %q", ErrBadName, name)
 			}
 		}

@@ -24,6 +24,7 @@ type Secondary struct {
 	mu       sync.Mutex
 	serial   uint32
 	refreshN int
+	journal  ZoneStore
 }
 
 // NewSecondary creates a secondary for the named zone, serving on a local
@@ -58,6 +59,27 @@ func (s *Secondary) Refreshes() int {
 	return s.refreshN
 }
 
+// Restore seeds the mirror from recovered state, as a restarted bindd
+// does: the next Refresh probes the primary's serial and transfers only
+// if it moved, instead of paying a cold full transfer.
+func (s *Secondary) Restore(serial uint32, rrs []RR) error {
+	if err := s.zone.Replace(rrs, serial); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.serial = serial
+	s.mu.Unlock()
+	return nil
+}
+
+// SetJournal journals every subsequently transferred zone content, so a
+// restart can Restore the mirror instead of re-transferring it.
+func (s *Secondary) SetJournal(j ZoneStore) {
+	s.mu.Lock()
+	s.journal = j
+	s.mu.Unlock()
+}
+
 // Refresh checks the primary's serial and transfers the zone if it moved,
 // reporting whether a transfer happened. The serial probe is cheap; the
 // transfer pays the full per-record cost.
@@ -68,6 +90,7 @@ func (s *Secondary) Refresh(ctx context.Context) (bool, error) {
 	}
 	s.mu.Lock()
 	current := s.serial
+	journal := s.journal
 	s.mu.Unlock()
 	if remote == current {
 		return false, nil
@@ -78,6 +101,11 @@ func (s *Secondary) Refresh(ctx context.Context) (bool, error) {
 	}
 	if err := s.zone.Replace(rrs, serial); err != nil {
 		return false, err
+	}
+	if journal != nil {
+		if err := journal.LogReplace(s.origin, serial, rrs); err != nil {
+			return false, fmt.Errorf("bind: secondary %s: transfer not durable: %w", s.origin, err)
+		}
 	}
 	s.mu.Lock()
 	s.serial = serial

@@ -38,6 +38,13 @@ type Server struct {
 	replyMu    sync.Mutex
 	replyCfg   *replyCacheConfig
 	hrpcSrvs   []*hrpc.Server
+
+	// journal, when set, receives every zone mutation made through this
+	// Server before the mutation is acknowledged. journalMu serializes
+	// apply+journal pairs so journaled serials are strictly increasing
+	// per zone. nil (the default) is the paper's in-memory BIND.
+	journalMu sync.Mutex
+	journal   ZoneStore
 }
 
 // replyCacheConfig records the EnableReplyCache parameters so HRPC servers
@@ -211,8 +218,20 @@ const (
 	UpdateRemove = 1
 )
 
+// SetJournal routes every subsequent zone mutation made through this
+// Server into j before it is acknowledged. A nil journal (the default)
+// is the purely in-memory server. Normally called via Durable.Attach.
+func (s *Server) SetJournal(j ZoneStore) {
+	s.journalMu.Lock()
+	s.journal = j
+	s.journalMu.Unlock()
+}
+
 // Update applies a dynamic update to the named zone, charging the
 // server-side update cost. Only zones created with allowUpdate accept it.
+// With a journal set, the update is journaled before the OK is returned:
+// a journal failure yields SERVFAIL and the caller must treat the update
+// as not applied (it may be in memory but will not survive a restart).
 func (s *Server) Update(ctx context.Context, zoneOrigin string, op uint32, rr RR) (rcode RCode, serial uint32, err error) {
 	defer func() {
 		s.reg.Counter(metrics.Labels("bind_updates_total", "rcode", rcode.String())).Inc()
@@ -225,6 +244,15 @@ func (s *Server) Update(ctx context.Context, zoneOrigin string, op uint32, rr RR
 	if !z.AllowsUpdate() {
 		return RCodeRefused, z.Serial(), ErrUpdateDenied
 	}
+	s.journalMu.Lock()
+	journal := s.journal
+	if journal == nil {
+		// No journal: release immediately, mutations need no ordering
+		// beyond the zone's own lock (the bit-identical in-memory path).
+		s.journalMu.Unlock()
+	} else {
+		defer s.journalMu.Unlock()
+	}
 	switch op {
 	case UpdateAdd:
 		err = z.Add(rr)
@@ -235,6 +263,11 @@ func (s *Server) Update(ctx context.Context, zoneOrigin string, op uint32, rr RR
 	}
 	if err != nil {
 		return RCodeServFail, z.Serial(), err
+	}
+	if journal != nil {
+		if jerr := journal.LogUpdate(z.Origin(), op, rr, z.Serial()); jerr != nil {
+			return RCodeServFail, z.Serial(), fmt.Errorf("bind: update not durable: %w", jerr)
+		}
 	}
 	// The zone changed: cached encoded replies are now stale. Dropping
 	// them here (rather than per-name) keeps the invalidation as simple
@@ -507,8 +540,18 @@ func (s *Server) ServeHRPC(net *transport.Network, addr string) (transport.Liste
 }
 
 // LoadRecords bulk-adds records to the server's zones, routing each to the
-// zone containing it. Useful for test and daemon setup.
+// zone containing it. Useful for test and daemon setup. With a journal
+// set, each touched zone's full contents are journaled as one replace
+// record once the load completes.
 func (s *Server) LoadRecords(rrs []RR) error {
+	s.journalMu.Lock()
+	journal := s.journal
+	if journal == nil {
+		s.journalMu.Unlock()
+	} else {
+		defer s.journalMu.Unlock()
+	}
+	touched := make(map[*Zone]bool)
 	for _, rr := range rrs {
 		name, err := CanonicalName(rr.Name)
 		if err != nil {
@@ -520,6 +563,14 @@ func (s *Server) LoadRecords(rrs []RR) error {
 		}
 		if err := z.Add(rr); err != nil {
 			return err
+		}
+		touched[z] = true
+	}
+	if journal != nil {
+		for z := range touched {
+			if err := journal.LogReplace(z.Origin(), z.Serial(), z.All()); err != nil {
+				return fmt.Errorf("bind: load not durable for %s: %w", z.Origin(), err)
+			}
 		}
 	}
 	s.InvalidateReplies() // bulk load changes answers wholesale

@@ -67,10 +67,15 @@ func (z *Zone) Contains(name string) bool {
 // Add installs a record (validated and canonicalized first). Duplicate
 // records (same name/type/data) replace the existing one, refreshing its
 // TTL. Adding a CNAME where other records exist — or vice versa — is
-// rejected, per DNS rules.
+// rejected, per DNS rules. Data must survive the zone-file line format
+// (non-empty, no newlines, no edge whitespace) so any zone can be
+// snapshotted and re-parsed losslessly.
 func (z *Zone) Add(rr RR) error {
 	if err := (&rr).Validate(); err != nil {
 		return err
+	}
+	if err := storableData(rr.Data); err != nil {
+		return fmt.Errorf("%v on %s %s", err, rr.Name, rr.Type)
 	}
 	if !z.Contains(rr.Name) {
 		return fmt.Errorf("%w: %s not under %s", ErrNotInZone, rr.Name, z.origin)
@@ -208,6 +213,9 @@ func (z *Zone) Replace(rrs []RR, serial uint32) error {
 		if err := (&rr).Validate(); err != nil {
 			return err
 		}
+		if err := storableData(rr.Data); err != nil {
+			return fmt.Errorf("%v on %s %s", err, rr.Name, rr.Type)
+		}
 		if !z.Contains(rr.Name) {
 			return fmt.Errorf("%w: %s not under %s", ErrNotInZone, rr.Name, z.origin)
 		}
@@ -218,6 +226,15 @@ func (z *Zone) Replace(rrs []RR, serial uint32) error {
 	z.records = fresh
 	z.serial = serial
 	return nil
+}
+
+// ForceSerial pins the zone serial. Journal recovery uses it to
+// reproduce exactly the serial each acknowledged update reported;
+// nothing else should.
+func (z *Zone) ForceSerial(s uint32) {
+	z.mu.Lock()
+	z.serial = s
+	z.mu.Unlock()
 }
 
 // Names returns the owner names present in the zone (unsorted).

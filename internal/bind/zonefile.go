@@ -2,6 +2,8 @@ package bind
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -82,14 +84,46 @@ func ParseZoneFile(r io.Reader) ([]RR, error) {
 	return out, nil
 }
 
+// storableData reports whether record data survives the master-file line
+// format: ParseZoneFile takes data as the trimmed remainder of the line,
+// so empty data, edge whitespace, and line breaks would not round-trip.
+// Zone mutation enforces this, which is what lets snapshots reuse the
+// zone-file format losslessly.
+func storableData(data []byte) error {
+	if len(data) == 0 {
+		return errors.New("bind: empty record data cannot be stored")
+	}
+	if bytes.ContainsAny(data, "\n\r") {
+		return errors.New("bind: record data contains a line break")
+	}
+	if len(bytes.TrimSpace(data)) != len(data) {
+		return errors.New("bind: record data has leading or trailing whitespace")
+	}
+	return nil
+}
+
+// WriteZone streams records to w in the exact ParseZoneFile master-file
+// format, deterministically ordered — the serialization both zone dumps
+// and store snapshots use. Every record must be storable (see Zone.Add);
+// parse∘write∘parse is the identity.
+func WriteZone(w io.Writer, rrs []RR) error {
+	sorted := append([]RR(nil), rrs...)
+	SortRRs(sorted)
+	for _, rr := range sorted {
+		if err := storableData(rr.Data); err != nil {
+			return fmt.Errorf("%v on %s %s", err, rr.Name, rr.Type)
+		}
+		if _, err := fmt.Fprintf(w, "%s %d %s %s\n", rr.Name, rr.TTL, rr.Type, rr.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FormatZoneFile renders records in the ParseZoneFile format,
 // deterministically ordered.
 func FormatZoneFile(rrs []RR) string {
-	sorted := append([]RR(nil), rrs...)
-	SortRRs(sorted)
 	var b strings.Builder
-	for _, rr := range sorted {
-		fmt.Fprintf(&b, "%s %d %s %s\n", rr.Name, rr.TTL, rr.Type, rr.Data)
-	}
+	WriteZone(&b, rrs) // strings.Builder never errors; unstorable data renders partially
 	return b.String()
 }

@@ -116,3 +116,71 @@ func TestZoneFileProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: parse ∘ write ∘ parse is the identity — what snapshots rely
+// on. Starting from parsed (hence storable) records, WriteZone's output
+// parses back to exactly the same set.
+func TestWriteZoneRoundTripProperty(t *testing.T) {
+	f := func(labels []string, ttl uint16, payloads []string) bool {
+		var rrs []RR
+		for i, l := range labels {
+			name, err := CanonicalName(strings.Trim(l, ".") + ".z.test")
+			if err != nil {
+				continue
+			}
+			payload := "p"
+			if i < len(payloads) {
+				p := strings.TrimSpace(strings.Map(func(r rune) rune {
+					if r == '\n' || r == '\r' {
+						return '_'
+					}
+					return r
+				}, payloads[i]))
+				if p != "" && len(p) <= MaxRDataLen {
+					payload = p
+				}
+			}
+			rrs = append(rrs, RR{Name: name, Type: TypeTXT, Class: ClassIN,
+				TTL: uint32(ttl), Data: []byte(payload)})
+		}
+		var b strings.Builder
+		if err := WriteZone(&b, rrs); err != nil {
+			return false
+		}
+		once, err := ParseZoneFile(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		var b2 strings.Builder
+		if err := WriteZone(&b2, once); err != nil {
+			return false
+		}
+		if b.String() != b2.String() { // write is canonical after one parse
+			return false
+		}
+		twice, err := ParseZoneFile(strings.NewReader(b2.String()))
+		if err != nil || len(twice) != len(once) {
+			return false
+		}
+		for i := range once {
+			if !twice[i].Equal(once[i]) || twice[i].TTL != once[i].TTL {
+				return false
+			}
+		}
+		SortRRs(rrs)
+		return len(once) == len(rrs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteZoneRejectsUnstorable(t *testing.T) {
+	for _, data := range []string{"", "has\nnewline", " edge", "edge "} {
+		var b strings.Builder
+		err := WriteZone(&b, []RR{{Name: "a.z.test", Type: TypeTXT, Class: ClassIN, Data: []byte(data)}})
+		if err == nil {
+			t.Errorf("WriteZone accepted unstorable data %q", data)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"hns/internal/bind"
+	"hns/internal/simtime"
+	"hns/internal/store"
+)
+
+// The durability experiment measures what crash safety costs and what
+// checkpoints buy, on a real directory (store.DirFS over an os.MkdirTemp
+// dir — the same path bindd -data-dir takes):
+//
+//   - Fsync policy: updates/sec through the full journaled Update path
+//     under -fsync=always (one fsync per acked update — the
+//     exact-acked-prefix guarantee), interval, and never.
+//   - Recovery: wall-clock reopen time as the WAL grows, with snapshots
+//     off (replay everything) and on (replay only the suffix past the
+//     newest checkpoint).
+//
+// Replayed counts and snapshot positions are deterministic; updates/sec
+// and recovery milliseconds are wall-clock and vary with the host disk.
+
+// DurabilitySpec parameterizes the durability experiment.
+type DurabilitySpec struct {
+	// Updates is the journaled update count per fsync-policy arm.
+	Updates int
+	// RecoverySteps are the WAL lengths (in records) at which recovery
+	// is timed.
+	RecoverySteps []int
+	// SnapshotEvery is the checkpoint interval of the snapshotted
+	// recovery arm.
+	SnapshotEvery int
+	// WorkingSet is the live zone size: updates cycle through this many
+	// names, so past the first WorkingSet they are re-registration
+	// refreshes — the churn a name service actually sees — and history
+	// grows while the zone does not.
+	WorkingSet int
+}
+
+// DefaultDurabilitySpec is the hnsbench configuration.
+func DefaultDurabilitySpec() DurabilitySpec {
+	return DurabilitySpec{
+		Updates:       2000,
+		RecoverySteps: []int{100, 1000, 5000},
+		SnapshotEvery: 256,
+		WorkingSet:    256,
+	}
+}
+
+// Validate checks the spec.
+func (s DurabilitySpec) Validate() error {
+	switch {
+	case s.Updates < 1:
+		return fmt.Errorf("experiments: durability updates must be >= 1")
+	case len(s.RecoverySteps) == 0:
+		return fmt.Errorf("experiments: durability needs at least one recovery step")
+	case s.SnapshotEvery < 1:
+		return fmt.Errorf("experiments: durability snapshot-every must be >= 1")
+	case s.WorkingSet < 1:
+		return fmt.Errorf("experiments: durability working set must be >= 1")
+	}
+	for _, n := range s.RecoverySteps {
+		if n < 1 {
+			return fmt.Errorf("experiments: durability recovery steps must be >= 1")
+		}
+	}
+	return nil
+}
+
+// DurabilityFsyncRow is one fsync policy's throughput measurement.
+type DurabilityFsyncRow struct {
+	Policy        string  `json:"policy"`
+	Updates       int     `json:"updates"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	Fsyncs        int64   `json:"fsyncs"`
+}
+
+// DurabilityRecoveryRow is one reopen timing: a WAL of WALRecords
+// records, recovered with or without checkpoints.
+type DurabilityRecoveryRow struct {
+	WALRecords  int     `json:"wal_records"`
+	Snapshotted bool    `json:"snapshotted"`
+	SnapshotLSN uint64  `json:"snapshot_lsn"`
+	Replayed    int     `json:"replayed"`
+	RecoveryMs  float64 `json:"recovery_ms"`
+}
+
+// DurabilityResult is one full run of the experiment.
+type DurabilityResult struct {
+	Fsync    []DurabilityFsyncRow    `json:"fsync"`
+	Recovery []DurabilityRecoveryRow `json:"recovery"`
+}
+
+// durableEnv is one arm's durable single-zone server on its own temp
+// directory — the bindd startup sequence over DirFS.
+type durableEnv struct {
+	srv *bind.Server
+	d   *bind.Durable
+	dir string
+}
+
+// openDurableEnv opens (or reopens) a durable server over dir.
+func openDurableEnv(dir string, cfg bind.DurableConfig) (*durableEnv, error) {
+	fs, err := store.DirFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.FS = fs
+	d, err := bind.OpenDurable(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv := bind.NewServer("durbench", simtime.Default())
+	z, err := bind.NewZone("hns", true)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	if err := srv.AddZone(z); err != nil {
+		d.Close()
+		return nil, err
+	}
+	for _, rz := range d.Zones() {
+		target := srv.Zone(rz.Origin)
+		if target == nil {
+			d.Close()
+			return nil, fmt.Errorf("experiments: recovered unknown zone %s", rz.Origin)
+		}
+		if err := target.Replace(rz.Records, rz.Serial); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	d.Attach(srv)
+	return &durableEnv{srv: srv, d: d, dir: dir}, nil
+}
+
+// storm drives n acked updates through the journaled Update path,
+// cycling a working set of ws names: past the first ws, each update is
+// a re-registration refresh of a live name, so the zone stays at ws
+// records while the journal keeps growing.
+func (e *durableEnv) storm(ctx context.Context, n, ws int) error {
+	for i := 0; i < n; i++ {
+		rr := bind.A(fmt.Sprintf("h%d.hns", i%ws), fmt.Sprintf("10.0.%d.%d", i%ws/200, i%ws%200), 60)
+		rcode, _, err := e.srv.Update(ctx, "hns", bind.UpdateAdd, rr)
+		if err != nil {
+			return err
+		}
+		if rcode != bind.RCodeOK {
+			return fmt.Errorf("experiments: update %d refused: %v", i, rcode)
+		}
+	}
+	return nil
+}
+
+// runDurabilityFsync times spec.Updates acked updates under each flush
+// policy, each on its own fresh directory.
+func runDurabilityFsync(ctx context.Context, spec DurabilitySpec) ([]DurabilityFsyncRow, error) {
+	rows := make([]DurabilityFsyncRow, 0, 3)
+	for _, policy := range []store.SyncPolicy{store.SyncAlways, store.SyncInterval, store.SyncNever} {
+		dir, err := os.MkdirTemp("", "hns-durable-fsync-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		e, err := openDurableEnv(dir, bind.DurableConfig{
+			Fsync:         policy,
+			FsyncInterval: 5 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := e.storm(ctx, spec.Updates, spec.WorkingSet); err != nil {
+			e.d.Close()
+			return nil, err
+		}
+		wall := time.Since(start)
+		syncs := e.d.LogStats().Syncs
+		if err := e.d.Close(); err != nil {
+			return nil, err
+		}
+		rows = append(rows, DurabilityFsyncRow{
+			Policy:        policy.String(),
+			Updates:       spec.Updates,
+			UpdatesPerSec: float64(spec.Updates) / wall.Seconds(),
+			Fsyncs:        syncs,
+		})
+	}
+	return rows, nil
+}
+
+// runDurabilityRecovery times reopening a WAL of n records, with
+// checkpoints off and on, for each spec step.
+func runDurabilityRecovery(ctx context.Context, spec DurabilitySpec) ([]DurabilityRecoveryRow, error) {
+	rows := make([]DurabilityRecoveryRow, 0, 2*len(spec.RecoverySteps))
+	for _, n := range spec.RecoverySteps {
+		for _, snapshotted := range []bool{false, true} {
+			dir, err := os.MkdirTemp("", "hns-durable-recover-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			// Small segments so checkpoints can actually prune covered
+			// history; both arms rotate identically.
+			cfg := bind.DurableConfig{Fsync: store.SyncNever, SegmentBytes: 4096}
+			if snapshotted {
+				cfg.SnapshotEvery = spec.SnapshotEvery
+			}
+			e, err := openDurableEnv(dir, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := e.storm(ctx, n, spec.WorkingSet); err != nil {
+				e.d.Close()
+				return nil, err
+			}
+			if err := e.d.Close(); err != nil {
+				return nil, err
+			}
+
+			// The measured reopen replays with the same checkpoint config.
+			e2, err := openDurableEnv(dir, cfg)
+			if err != nil {
+				return nil, err
+			}
+			st := e2.d.Stats()
+			want := n
+			if want > spec.WorkingSet {
+				want = spec.WorkingSet
+			}
+			if got := e2.srv.Zone("hns").Count(); got != want {
+				e2.d.Close()
+				return nil, fmt.Errorf("experiments: recovered %d records, want %d", got, want)
+			}
+			if err := e2.d.Close(); err != nil {
+				return nil, err
+			}
+			rows = append(rows, DurabilityRecoveryRow{
+				WALRecords:  n,
+				Snapshotted: snapshotted,
+				SnapshotLSN: st.SnapshotLSN,
+				Replayed:    st.Replayed,
+				RecoveryMs:  simMs(st.Elapsed),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RunDurability runs the full experiment: fsync-policy throughput, then
+// recovery time against WAL length.
+func RunDurability(ctx context.Context, spec DurabilitySpec) (DurabilityResult, error) {
+	var res DurabilityResult
+	if err := spec.Validate(); err != nil {
+		return res, err
+	}
+	var err error
+	if res.Fsync, err = runDurabilityFsync(ctx, spec); err != nil {
+		return res, fmt.Errorf("experiments: durability fsync arm: %w", err)
+	}
+	if res.Recovery, err = runDurabilityRecovery(ctx, spec); err != nil {
+		return res, fmt.Errorf("experiments: durability recovery arm: %w", err)
+	}
+	return res, nil
+}
+
+// DurabilityDoc is the BENCH_durable.json document.
+type DurabilityDoc struct {
+	Schema string `json:"schema"`
+	Note   string `json:"note"`
+	Spec   struct {
+		Updates       int   `json:"updates"`
+		RecoverySteps []int `json:"recovery_steps"`
+		SnapshotEvery int   `json:"snapshot_every"`
+		WorkingSet    int   `json:"working_set"`
+	} `json:"spec"`
+	Result DurabilityResult `json:"result"`
+}
+
+// DurabilitySchema identifies the BENCH_durable.json layout; bump it
+// when a field changes meaning, not just when a field is added.
+const DurabilitySchema = "hns/bench-durable/v1"
+
+// BuildDurabilityDoc assembles the document around a measured result.
+func BuildDurabilityDoc(spec DurabilitySpec, res DurabilityResult) DurabilityDoc {
+	var doc DurabilityDoc
+	doc.Schema = DurabilitySchema
+	doc.Note = "replayed counts and snapshot positions are deterministic; updates/sec and " +
+		"recovery ms are wall-clock against the host disk (CI runs in a 1-core container)"
+	doc.Spec.Updates = spec.Updates
+	doc.Spec.RecoverySteps = spec.RecoverySteps
+	doc.Spec.SnapshotEvery = spec.SnapshotEvery
+	doc.Spec.WorkingSet = spec.WorkingSet
+	doc.Result = res
+	return doc
+}
+
+// EncodeDurabilityDoc renders the document as the file's canonical JSON.
+func EncodeDurabilityDoc(doc DurabilityDoc) ([]byte, error) {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

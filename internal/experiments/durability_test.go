@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDurabilityDocGolden locks the BENCH_durable.json schema: field
+// names, nesting, and ordering. The result is a synthetic fixture, so
+// the golden file captures the document layout without depending on the
+// host; regenerate with `go test ./internal/experiments -run
+// DurabilityDocGolden -update-golden` when the schema intentionally
+// changes (and bump DurabilitySchema).
+func TestDurabilityDocGolden(t *testing.T) {
+	spec := DefaultDurabilitySpec()
+	res := DurabilityResult{
+		Fsync: []DurabilityFsyncRow{
+			{Policy: "always", Updates: 2000, UpdatesPerSec: 4200.5, Fsyncs: 2000},
+			{Policy: "interval", Updates: 2000, UpdatesPerSec: 61000.25, Fsyncs: 12},
+			{Policy: "never", Updates: 2000, UpdatesPerSec: 88000.75, Fsyncs: 0},
+		},
+		Recovery: []DurabilityRecoveryRow{
+			{WALRecords: 100, Snapshotted: false, SnapshotLSN: 0, Replayed: 100, RecoveryMs: 0.4},
+			{WALRecords: 100, Snapshotted: true, SnapshotLSN: 0, Replayed: 100, RecoveryMs: 0.4},
+			{WALRecords: 1000, Snapshotted: false, SnapshotLSN: 0, Replayed: 1000, RecoveryMs: 3.1},
+			{WALRecords: 1000, Snapshotted: true, SnapshotLSN: 768, Replayed: 232, RecoveryMs: 1.2},
+			{WALRecords: 5000, Snapshotted: false, SnapshotLSN: 0, Replayed: 5000, RecoveryMs: 15.9},
+			{WALRecords: 5000, Snapshotted: true, SnapshotLSN: 4864, Replayed: 136, RecoveryMs: 1.4},
+		},
+	}
+	buf, err := EncodeDurabilityDoc(BuildDurabilityDoc(spec, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "BENCH_durable.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(want) {
+		t.Errorf("BENCH_durable.json schema drifted from %s;\ngot:\n%s\nwant:\n%s\n"+
+			"(rerun with -update-golden and bump DurabilitySchema if intentional)",
+			golden, buf, want)
+	}
+}
+
+func TestDurabilitySpecValidate(t *testing.T) {
+	good := DefaultDurabilitySpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default durability spec rejected: %v", err)
+	}
+	bad := []DurabilitySpec{
+		func() DurabilitySpec { s := good; s.Updates = 0; return s }(),
+		func() DurabilitySpec { s := good; s.RecoverySteps = nil; return s }(),
+		func() DurabilitySpec { s := good; s.RecoverySteps = []int{100, 0}; return s }(),
+		func() DurabilitySpec { s := good; s.SnapshotEvery = 0; return s }(),
+		func() DurabilitySpec { s := good; s.WorkingSet = 0; return s }(),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad durability spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// smallDurabilitySpec keeps the experiment fast enough for the ordinary
+// test tier; the full DefaultDurabilitySpec runs in hnsbench.
+func smallDurabilitySpec() DurabilitySpec {
+	return DurabilitySpec{
+		Updates:       64,
+		RecoverySteps: []int{20, 120},
+		SnapshotEvery: 32,
+		WorkingSet:    16,
+	}
+}
+
+// TestRunDurabilityContracts runs the whole experiment small and asserts
+// the deterministic parts exactly (fsync counts under always/never,
+// replayed counts, checkpoint positions) and the wall-clock parts only
+// for presence.
+func TestRunDurabilityContracts(t *testing.T) {
+	spec := smallDurabilitySpec()
+	res, err := RunDurability(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Fsync) != 3 {
+		t.Fatalf("fsync arm rows: %+v", res.Fsync)
+	}
+	byPolicy := map[string]DurabilityFsyncRow{}
+	for _, r := range res.Fsync {
+		byPolicy[r.Policy] = r
+		if r.UpdatesPerSec <= 0 || r.Updates != spec.Updates {
+			t.Fatalf("fsync row did not run: %+v", r)
+		}
+	}
+	// -fsync=always is one flush per acked update; never leaves flushing
+	// to Close.
+	if got := byPolicy["always"].Fsyncs; got != int64(spec.Updates) {
+		t.Errorf("always fsyncs = %d, want %d", got, spec.Updates)
+	}
+	if got := byPolicy["never"].Fsyncs; got != 0 {
+		t.Errorf("never fsyncs = %d, want 0", got)
+	}
+
+	if len(res.Recovery) != 2*len(spec.RecoverySteps) {
+		t.Fatalf("recovery arm rows: %+v", res.Recovery)
+	}
+	for _, r := range res.Recovery {
+		if !r.Snapshotted {
+			// No checkpoints: recovery replays the whole log.
+			if r.SnapshotLSN != 0 || r.Replayed != r.WALRecords {
+				t.Errorf("unsnapshotted recovery row off: %+v", r)
+			}
+			continue
+		}
+		// Checkpoints cover the largest multiple of SnapshotEvery; replay
+		// is only the suffix.
+		wantLSN := uint64(r.WALRecords / spec.SnapshotEvery * spec.SnapshotEvery)
+		if r.SnapshotLSN != wantLSN || r.Replayed != r.WALRecords-int(wantLSN) {
+			t.Errorf("snapshotted recovery row off (want snapshot at %d): %+v", wantLSN, r)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// collect replays the whole log into a slice of payload strings.
+func collect(t *testing.T, l *Log, after uint64) []string {
+	t.Helper()
+	var out []string
+	err := l.Replay(after, func(lsn uint64, payload []byte) error {
+		out = append(out, string(payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestLogAppendReplayRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	l, err := OpenLog(fs, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 50; i++ {
+		p := fmt.Sprintf("record-%03d", i)
+		lsn, err := l.Append([]byte(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn %d, want %d", lsn, i+1)
+		}
+		want = append(want, p)
+	}
+	got := collect(t, l, 0)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Replay after an offset skips the prefix.
+	if got := collect(t, l, 47); len(got) != 3 || got[0] != "record-047" {
+		t.Fatalf("replay after 47: %v", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh open over the same files sees the same log.
+	l2, err := OpenLog(fs, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastLSN() != 50 {
+		t.Fatalf("reopened LastLSN %d, want 50", l2.LastLSN())
+	}
+	if got := collect(t, l2, 0); len(got) != 50 {
+		t.Fatalf("reopened replay %d records, want 50", len(got))
+	}
+	// And appends continue the sequence.
+	if lsn, err := l2.Append([]byte("after-reopen")); err != nil || lsn != 51 {
+		t.Fatalf("append after reopen: lsn %d, err %v", lsn, err)
+	}
+}
+
+func TestLogSegmentRotationAndPrune(t *testing.T) {
+	fs := NewMemFS()
+	l, err := OpenLog(fs, LogOptions{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", st.Segments)
+	}
+	if got := collect(t, l, 0); len(got) != 20 {
+		t.Fatalf("replay across segments: %d records, want 20", len(got))
+	}
+
+	// Prune everything before LSN 15: older whole segments go, records
+	// after 15 survive, and the tail segment always stays.
+	if err := l.Prune(15); err != nil {
+		t.Fatal(err)
+	}
+	st2 := l.Stats()
+	if st2.Segments >= st.Segments {
+		t.Fatalf("prune kept all %d segments", st2.Segments)
+	}
+	if st2.FirstLSN > 16 {
+		t.Fatalf("prune removed records beyond upTo: first lsn now %d", st2.FirstLSN)
+	}
+	got := collect(t, l, 15)
+	if len(got) != 5 || got[0] != "payload-15" {
+		t.Fatalf("replay after prune: %v", got)
+	}
+
+	// Reopen: continuity check passes over the pruned set.
+	l.Close()
+	l2, err := OpenLog(fs, LogOptions{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastLSN() != 20 {
+		t.Fatalf("LastLSN after prune+reopen %d, want 20", l2.LastLSN())
+	}
+}
+
+func TestLogTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	l, err := OpenLog(fs, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Tear the tail: append half a frame by hand.
+	name := segName(1)
+	f, err := fs.Append(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 9, 0xde, 0xad})
+	f.Close()
+	before := fs.Size(name)
+
+	l2, err := OpenLog(fs, LogOptions{})
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated: %v", err)
+	}
+	st := l2.Stats()
+	if !st.TornTail || st.TornBytes != 6 {
+		t.Fatalf("torn stats %+v, want TornTail with 6 bytes", st)
+	}
+	if fs.Size(name) != before-6 {
+		t.Fatalf("torn bytes not truncated: %d -> %d", before, fs.Size(name))
+	}
+	if l2.LastLSN() != 5 {
+		t.Fatalf("LastLSN %d, want 5", l2.LastLSN())
+	}
+	// Appending after truncation produces a clean, fully-replayable log.
+	if lsn, err := l2.Append([]byte("rec-5")); err != nil || lsn != 6 {
+		t.Fatalf("append after torn recovery: %d, %v", lsn, err)
+	}
+	if got := collect(t, l2, 0); len(got) != 6 || got[5] != "rec-5" {
+		t.Fatalf("replay after torn recovery: %v", got)
+	}
+}
+
+func TestLogInteriorCorruptionDetected(t *testing.T) {
+	fs := NewMemFS()
+	l, err := OpenLog(fs, LogOptions{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	if l.Stats().Segments < 3 {
+		t.Fatalf("need several segments, got %d", l.Stats().Segments)
+	}
+
+	// Flip a payload byte in the FIRST segment: an interior, acked
+	// record. Open must refuse, not silently skip.
+	if err := fs.Corrupt(segName(1), frameHeader+2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLog(fs, LogOptions{SegmentBytes: 64}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("interior bitrot not detected: %v", err)
+	}
+}
+
+func TestLogGapDetected(t *testing.T) {
+	fs := NewMemFS()
+	l, err := OpenLog(fs, LogOptions{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs := l.Stats().Segments
+	if segs < 3 {
+		t.Fatalf("need >=3 segments, got %d", segs)
+	}
+	// Delete a middle segment: the LSN continuity check must fire.
+	var middle string
+	names, _ := fs.List()
+	var walNames []string
+	for _, n := range names {
+		if _, ok := parseSegName(n); ok {
+			walNames = append(walNames, n)
+		}
+	}
+	middle = walNames[1]
+	if err := fs.Remove(middle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLog(fs, LogOptions{SegmentBytes: 64}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing segment not detected: %v", err)
+	}
+}
+
+func TestLogSyncPolicies(t *testing.T) {
+	// Always: one sync per append (plus close).
+	fs := NewMemFS()
+	l, _ := OpenLog(fs, LogOptions{Sync: SyncAlways})
+	for i := 0; i < 10; i++ {
+		l.Append([]byte("x"))
+	}
+	if st := l.Stats(); st.Syncs != 10 {
+		t.Fatalf("SyncAlways: %d syncs, want 10", st.Syncs)
+	}
+
+	// Never: no syncs until Close.
+	fs2 := NewMemFS()
+	l2, _ := OpenLog(fs2, LogOptions{Sync: SyncNever})
+	for i := 0; i < 10; i++ {
+		l2.Append([]byte("x"))
+	}
+	if st := l2.Stats(); st.Syncs != 0 {
+		t.Fatalf("SyncNever: %d syncs before close", st.Syncs)
+	}
+	l2.Close()
+	if fs2.Syncs() == 0 {
+		t.Fatal("SyncNever: Close did not flush")
+	}
+
+	// Interval: far fewer syncs than appends.
+	fs3 := NewMemFS()
+	l3, _ := OpenLog(fs3, LogOptions{Sync: SyncInterval, SyncEvery: time.Hour})
+	for i := 0; i < 10; i++ {
+		l3.Append([]byte("x"))
+	}
+	if st := l3.Stats(); st.Syncs > 1 {
+		t.Fatalf("SyncInterval(1h): %d syncs across 10 appends", st.Syncs)
+	}
+}
+
+func TestLogAppendLimits(t *testing.T) {
+	l, _ := OpenLog(NewMemFS(), LogOptions{})
+	if _, err := l.Append(nil); err == nil {
+		t.Fatal("empty append accepted")
+	}
+	if _, err := l.Append(make([]byte, maxPayload+1)); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+}
+
+func TestLogPoisonedAfterWriteFailure(t *testing.T) {
+	mem := NewMemFS()
+	plan := NewFaultPlan(1)
+	plan.CrashAfterWrites(3, true)
+	l, err := OpenLog(NewFaultFS(mem, plan), LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			failed = true
+			if !errors.Is(err, ErrCrashed) && !errors.Is(l.broken, ErrCrashed) {
+				t.Fatalf("unexpected append error: %v", err)
+			}
+		} else if failed {
+			t.Fatal("append succeeded after the log was poisoned")
+		}
+	}
+	if !failed {
+		t.Fatal("crash never fired")
+	}
+	// The surviving prefix (2 full records) replays cleanly on the
+	// post-crash disk image.
+	l2, err := OpenLog(mem, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l2, 0); len(got) != 2 {
+		t.Fatalf("post-crash replay %v, want 2 records", got)
+	}
+}
+
+func TestLogOnRealFilesystem(t *testing.T) {
+	fs, err := DirFS(t.TempDir() + "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(fs, LogOptions{SegmentBytes: 128, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("disk-record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteSnapshot(fs, "", 10, []byte("state@10")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Prune(10); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, err := OpenLog(fs, LogOptions{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 30 {
+		t.Fatalf("LastLSN on disk %d, want 30", l2.LastLSN())
+	}
+	snap, err := LatestSnapshot(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.LSN != 10 || string(snap.Payload) != "state@10" {
+		t.Fatalf("snapshot on disk: %+v", snap)
+	}
+	var n int
+	l2.Replay(snap.LSN, func(lsn uint64, p []byte) error { n++; return nil })
+	if n != 20 {
+		t.Fatalf("replayed %d records after snapshot, want 20", n)
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{
+		"always": SyncAlways, "Interval": SyncInterval, "NEVER": SyncNever,
+	} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() == "" {
+			t.Errorf("empty String for %v", got)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+// TestLogReopenAppendOnDisk exercises the real-filesystem reopen path: a
+// log closed and reopened must continue appending into the existing tail
+// segment (fs.Append), and a torn tail on disk must be truncated with
+// the real Truncate.
+func TestLogReopenAppendOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := DirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLog(fs, LogOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil { // explicit flush under SyncNever
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Tear the tail on the real file: half a frame header.
+	af, err := fs.Append(segName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.Write([]byte{0, 0, 0})
+	af.Close()
+
+	l2, err := OpenLog(fs, LogOptions{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l2.Stats()
+	if !st.TornTail || st.TornBytes != 3 || st.LastLSN != 5 {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+	// Appending continues in the same segment file, after the cut.
+	if lsn, err := l2.Append([]byte("rec-5")); err != nil || lsn != 6 {
+		t.Fatalf("append after reopen: lsn %d, %v", lsn, err)
+	}
+	l2.Close()
+	got := collect(t, mustOpen(t, fs), 0)
+	if len(got) != 6 || string(got[5]) != "rec-5" {
+		t.Fatalf("final replay: %d records", len(got))
+	}
+}
+
+func mustOpen(t *testing.T, fs FS) *Log {
+	t.Helper()
+	l, err := OpenLog(fs, LogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}

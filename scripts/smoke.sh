@@ -28,7 +28,11 @@ go test -race -run 'TestScenario' -count=3 ./internal/workload
 echo "--- shed tier: 10k-caller crowd against the admission cap, raced"
 go test -race -count=1 -run 'TestBatchShed10K' ./internal/experiments
 
-echo "--- coverage floors: internal/workload, internal/health, internal/admission"
+echo "--- crash tier: seeded crash/restart storm and durable-store suites, raced"
+go test -race -count=1 -run 'TestCrashRecovery|TestDurable|TestSecondaryRestore' ./internal/bind
+go test -race -count=1 ./internal/store
+
+echo "--- coverage floors: internal/workload, internal/health, internal/admission, internal/store"
 cover() {
   local pkg=$1 floor=$2
   local pct
@@ -40,6 +44,7 @@ cover() {
 cover ./internal/workload 87
 cover ./internal/health 83
 cover ./internal/admission 80
+cover ./internal/store 85
 
 echo "--- chaos tier: seeded failure injection (make chaos)"
 make chaos
@@ -99,6 +104,34 @@ grep -q 'cache_' <<<"$out" || { echo "SMOKE FAILED: stats lacks cache series"; e
 
 echo "--- meta zone dump"
 ./hnsctl dump -meta 127.0.0.1:5301
+
+# ---- Part 1a: crash-safe bindd. A durable meta BIND takes an update,
+# dies by kill -9, and restarts from its data dir with the acked record
+# and serial intact.
+./bindd -host rainier -zone crash.test -update -data-dir crashdata \
+        -hrpc 127.0.0.1:5350 -std "" -metrics 127.0.0.1:5351 >crash.log 2>&1 &
+crash_pid=$!
+echo $crash_pid >> pids
+sleep 0.5
+./hnsctl register-ns -meta 127.0.0.1:5350 -zone crash.test bind-crash bind
+before=$(./hnsctl dump -meta 127.0.0.1:5350 -zone crash.test)
+kill -9 "$crash_pid"
+sleep 0.3
+./bindd -host rainier -zone crash.test -update -data-dir crashdata \
+        -hrpc 127.0.0.1:5350 -std "" -metrics 127.0.0.1:5351 >crash2.log 2>&1 &
+echo $! >> pids
+sleep 0.5
+
+echo "--- zone dump after kill -9 and restart from the WAL"
+after=$(./hnsctl dump -meta 127.0.0.1:5350 -zone crash.test)
+echo "$after"
+[ "$before" = "$after" ] || { echo "SMOKE FAILED: durable bindd lost state across kill -9"; exit 1; }
+grep -q 'bind-crash' <<<"$after" || { echo "SMOKE FAILED: recovered dump lacks the acked record"; exit 1; }
+
+echo "--- durable store counters via hnsctl store"
+out=$(./hnsctl store -from 127.0.0.1:5351)
+echo "$out"
+grep -q 'store "rainier"' <<<"$out" || { echo "SMOKE FAILED: store lacks the rainier row"; exit 1; }
 
 # ---- Part 1b: the admission-controlled front door. Resolve through an
 # hnsgw that fronts the hnsd, then read its admission counters back.
