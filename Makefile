@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-parallel bench-alloc bench-scale bench-batch bench-durable fuzz smoke chaos examples harness regen outputs
+.PHONY: all build vet test race bench bench-parallel bench-alloc bench-scale bench-batch bench-durable bench-shard fuzz smoke chaos examples harness regen outputs
 
 all: build vet test
 
@@ -46,6 +46,12 @@ bench-batch:
 bench-durable:
 	go run ./cmd/hnsbench -prose durable
 
+# The sharded meta-store experiment: warm-lookup parity, journaled update
+# scaling at 1/2/4/8 shards, and the kill-one availability arm, written
+# to BENCH_shard.json.
+bench-shard:
+	go run ./cmd/hnsbench -prose shard
+
 # Short exploratory fuzzing over every wire codec.
 fuzz:
 	go test -fuzz FuzzDecodeMessage -fuzztime 15s ./internal/bind/
@@ -59,6 +65,7 @@ fuzz:
 	go test -fuzz FuzzSpecValidate -fuzztime 10s ./internal/workload/
 	go test -fuzz FuzzWALDecode -fuzztime 10s ./internal/store/
 	go test -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/store/
+	go test -fuzz FuzzShardMapDecode -fuzztime 10s ./internal/shard/
 
 # Multi-process deployment over real sockets.
 smoke:

@@ -36,7 +36,7 @@ func main() {
 	var (
 		table      = flag.String("table", "", `table to regenerate ("3.1" or "3.2")`)
 		figure     = flag.String("figure", "", `figure to regenerate ("2.1")`)
-		prose      = flag.String("prose", "", "prose measurement (findnsm nsmcall underlying baselines preload breakeven marshalling nsmsize scaling consistency hitratios broadcast throughput availability replycache muxthroughput scale batch durable)")
+		prose      = flag.String("prose", "", "prose measurement (findnsm nsmcall underlying baselines preload breakeven marshalling nsmsize scaling consistency hitratios broadcast throughput availability replycache muxthroughput scale batch durable shard)")
 		all        = flag.Bool("all", false, "run everything")
 		check      = flag.Bool("check", false, "regression gate: verify every Table 3.1 cell within ±20% of the paper and exit nonzero otherwise")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to `file` (inspect with go tool pprof)")
@@ -119,12 +119,13 @@ func main() {
 		"scale":         printScale,
 		"batch":         printBatch,
 		"durable":       printDurable,
+		"shard":         printShard,
 	}
 	if *all {
 		for _, name := range []string{"findnsm", "nsmcall", "underlying", "baselines",
 			"preload", "breakeven", "marshalling", "nsmsize", "scaling", "consistency",
 			"hitratios", "broadcast", "throughput", "availability", "replycache",
-			"muxthroughput", "scale", "batch", "durable"} {
+			"muxthroughput", "scale", "batch", "durable", "shard"} {
 			run("prose "+name, proseRunners[name])
 		}
 	} else if *prose != "" {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"hns/internal/bind"
+	"hns/internal/metrics"
+	"hns/internal/shard"
+)
+
+// cmdShard renders a sharded meta-store: the shard map itself (fetched
+// from any shard's meta zone) and, per shard daemon, the shard_* series
+// from its /debug/hns snapshot — map epoch, zone record count, NOTOWNER
+// redirects served, and rebalance activity.
+func cmdShard(e *env, args []string) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	meta := fs.String("meta", "", "any shard's HRPC address; fetches and prints the shard-map record")
+	zone := fs.String("zone", "hns", "the sharded zone")
+	var froms stringFlagList
+	fs.Var(&froms, "from", "shard daemon metrics address (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *meta == "" && len(froms) == 0 {
+		return fmt.Errorf("want -meta and/or at least one -from")
+	}
+
+	if *meta != "" {
+		rrs, err := e.metaClient(*meta).Lookup(context.Background(),
+			shard.MapName(*zone), bind.TypeHNSMeta)
+		if err != nil {
+			return fmt.Errorf("fetching shard map: %w", err)
+		}
+		m, err := shard.FromRecords(rrs)
+		if err != nil {
+			return fmt.Errorf("decoding shard map: %w", err)
+		}
+		fmt.Printf("shard map for %q: epoch %d, seed %d, %d members\n",
+			*zone, m.Epoch, m.Seed, len(m.Members))
+		for _, mem := range m.Members {
+			fmt.Printf("  %-12s %s\n", mem.ID, mem.Addr)
+		}
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, from := range froms {
+		resp, err := client.Get("http://" + from + "/debug/hns")
+		if err != nil {
+			return fmt.Errorf("fetching snapshot from %s: %w", from, err)
+		}
+		var snap metrics.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("decoding snapshot from %s: %w", from, err)
+		}
+
+		type shardView struct {
+			counters map[string]int64
+			gauges   map[string]int64
+		}
+		views := make(map[string]*shardView)
+		view := func(id string) *shardView {
+			v, ok := views[id]
+			if !ok {
+				v = &shardView{counters: make(map[string]int64), gauges: make(map[string]int64)}
+				views[id] = v
+			}
+			return v
+		}
+		for _, c := range snap.Counters {
+			if base, id, ok := shardSeries(c.Name); ok {
+				view(id).counters[base] = c.Value
+			}
+		}
+		for _, g := range snap.Gauges {
+			if base, id, ok := shardSeries(g.Name); ok {
+				view(id).gauges[base] = g.Value
+			}
+		}
+		if len(views) == 0 {
+			fmt.Printf("%s: no shard series; is this bindd running with -shard-id?\n", from)
+			continue
+		}
+		ids := make([]string, 0, len(views))
+		for id := range views {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			v := views[id]
+			fmt.Printf("shard %q at %s\n", id, from)
+			fmt.Printf("  map epoch:    %d\n", v.gauges["shard_map_epoch"])
+			fmt.Printf("  zone records: %d\n", v.gauges["shard_zone_records"])
+			fmt.Printf("  notowner:     %d redirects served\n", v.counters["shard_notowner_total"])
+			fmt.Printf("  rebalance:    %d records pulled over %d transfers\n",
+				v.counters["shard_rebalance_pulled_total"], v.counters["shard_rebalance_transfers_total"])
+		}
+	}
+	return nil
+}
+
+// shardSeries splits `shard_map_epoch{shard="s0"}` into base and shard
+// label; ok is false for series without a shard label.
+func shardSeries(name string) (base, id string, ok bool) {
+	i := strings.Index(name, `{shard="`)
+	if i < 0 || !strings.HasSuffix(name, `"}`) {
+		return "", "", false
+	}
+	return name[:i], name[i+len(`{shard="`) : len(name)-len(`"}`)], true
+}
+
+// stringFlagList collects a repeatable string flag.
+type stringFlagList []string
+
+func (s *stringFlagList) String() string     { return strings.Join(*s, ",") }
+func (s *stringFlagList) Set(v string) error { *s = append(*s, v); return nil }

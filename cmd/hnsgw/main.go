@@ -8,6 +8,10 @@
 //	hnsgw -addr 127.0.0.1:5320 -backend 127.0.0.1:5310 \
 //	      -rate 100 -burst 200 -max-inflight 256 -metrics 127.0.0.1:5321
 //
+// Repeating -backend builds a round-robin pool: admitted calls rotate
+// across the backends and fail over when one is unreachable — the
+// arrangement for a fleet of hnsds over a sharded meta-store.
+//
 // Batch resolution is classified low priority and sheds first (at
 // -low-watermark of the in-flight cap); single-name calls keep flowing
 // to the full cap. With -propagate-deadline, budgets arriving from new
@@ -20,6 +24,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,11 +37,17 @@ import (
 	"hns/internal/transport"
 )
 
+// backendList collects repeated -backend flags.
+type backendList []string
+
+func (b *backendList) String() string     { return strings.Join(*b, ",") }
+func (b *backendList) Set(v string) error { *b = append(*b, v); return nil }
+
 func main() {
+	var backends backendList
 	var (
 		host     = flag.String("host", "hnsgw", "descriptive host name")
 		addr     = flag.String("addr", "127.0.0.1:5320", "gateway listen address (TCP)")
-		backend  = flag.String("backend", "127.0.0.1:5310", "backend HNS FindNSM address (TCP)")
 		rate     = flag.Float64("rate", 0, "per-client sustained admissions per second (0 disables rate limiting)")
 		burst    = flag.Float64("burst", 0, "per-client bucket depth (0 means max(1, rate))")
 		maxInfl  = flag.Int("max-inflight", 0, "cap on concurrently admitted calls (0 disables the load cap)")
@@ -48,7 +59,11 @@ func main() {
 		mux      = flag.Bool("mux", true, "dial multiplexed upstream connections; disable for pre-mux backends")
 		connIdle = flag.Duration("conn-idle", 0, "close pooled upstream connections idle for this long (0 keeps them)")
 	)
+	flag.Var(&backends, "backend", "backend HNS FindNSM address (TCP); repeat for a round-robin pool with failover")
 	flag.Parse()
+	if len(backends) == 0 {
+		backends = backendList{"127.0.0.1:5310"}
+	}
 
 	if *metrAddr != "" {
 		msrv, err := metrics.Serve(*metrAddr, metrics.Default())
@@ -80,8 +95,16 @@ func main() {
 			RetryAfter:   *retryAft,
 		}
 	}
-	backendB := hrpc.SuiteRawNet.Bind(*backend, *backend, core.HNSProgram, core.HNSVersion)
-	gw := gateway.New(up, backendB, cfg)
+	var bindings []hrpc.Binding
+	for _, b := range backends {
+		bindings = append(bindings, hrpc.SuiteRawNet.Bind(b, b, core.HNSProgram, core.HNSVersion))
+	}
+	var gw *gateway.Gateway
+	if len(bindings) == 1 {
+		gw = gateway.New(up, bindings[0], cfg)
+	} else {
+		gw = gateway.NewPooled(up, bindings, cfg)
+	}
 
 	ln, binding, err := gw.Serve(net, hrpc.SuiteRawNet, *host, *addr)
 	if err != nil {
@@ -91,9 +114,9 @@ func main() {
 	switch {
 	case cfg.Admission != nil:
 		log.Printf("hnsgw: serving %s -> %s (rate %.0f/s burst %.0f, inflight cap %d, low watermark %.2f)",
-			binding, *backend, *rate, *burst, *maxInfl, *lowWater)
+			binding, backends.String(), *rate, *burst, *maxInfl, *lowWater)
 	default:
-		log.Printf("hnsgw: serving %s -> %s (admission disabled)", binding, *backend)
+		log.Printf("hnsgw: serving %s -> %s (admission disabled)", binding, backends.String())
 	}
 
 	// Long-lived hygiene: evict idle upstream connections.

@@ -680,7 +680,8 @@ func TestRRTypeStrings(t *testing.T) {
 		}
 	}
 	for rc, want := range map[RCode]string{
-		RCodeOK: "NOERROR", RCodeNXDomain: "NXDOMAIN", RCode(9): "RCODE9",
+		RCodeOK: "NOERROR", RCodeNXDomain: "NXDOMAIN",
+		RCodeNotOwner: "NOTOWNER", RCode(11): "RCODE11",
 	} {
 		if got := rc.String(); got != want {
 			t.Errorf("rcode %d = %q, want %q", rc, got, want)

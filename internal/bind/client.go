@@ -37,6 +37,31 @@ func (e *NotFoundError) Error() string {
 	return fmt.Sprintf("bind: %s %s: %s", e.Name, e.Type, e.RCode)
 }
 
+// NotOwnerError reports a dynamic update refused with NOTOWNER: the
+// contacted shard is authoritative for the zone but another shard owns
+// the name under the current shard map. Server-side the gate fills in
+// the owner it would route to; the client-side error (decoded from the
+// wire rcode alone) carries only the name and zone — the caller
+// refreshes its shard map and retries against the owner it names.
+type NotOwnerError struct {
+	Name string
+	Zone string
+	// Epoch, OwnerID, and OwnerAddr describe the refusing server's view
+	// of the map; zero/empty on client-decoded errors.
+	Epoch     uint32
+	OwnerID   string
+	OwnerAddr string
+}
+
+// Error implements error.
+func (e *NotOwnerError) Error() string {
+	if e.OwnerID != "" {
+		return fmt.Sprintf("bind: update refused: NOTOWNER %s in %s: owner %s@%s (map epoch %d)",
+			e.Name, e.Zone, e.OwnerID, e.OwnerAddr, e.Epoch)
+	}
+	return fmt.Sprintf("bind: update refused: NOTOWNER %s in %s", e.Name, e.Zone)
+}
+
 // ---- Standard-interface client (hand-coded marshalling).
 
 // StdClient speaks the standard wire protocol to a server, or an ordered
@@ -327,6 +352,9 @@ func (c *HRPCClient) Update(ctx context.Context, zone string, op uint32, rr RR) 
 	}
 	rcode, _ := ret.Items[0].AsU32()
 	serial, _ := ret.Items[1].AsU32()
+	if RCode(rcode) == RCodeNotOwner {
+		return serial, &NotOwnerError{Name: rr.Name, Zone: zone}
+	}
 	if RCode(rcode) != RCodeOK {
 		return serial, fmt.Errorf("bind: update refused: %s", RCode(rcode))
 	}
@@ -707,6 +735,24 @@ func (r *Resolver) NegativeStats() cache.Stats {
 
 // LockWaits reports contended shard-lock acquisitions on the answer cache.
 func (r *Resolver) LockWaits() int64 { return r.cache.LockWaits() }
+
+// Invalidate drops the cached answer — positive and negative — for one
+// (name, type), so the next Lookup goes to the backend. Concurrent
+// missers after an Invalidate still coalesce into a single backend
+// fetch through the resolver's singleflight group; the shard-map
+// refresh path relies on exactly that to turn an epoch bump under many
+// callers into one refetch instead of a stampede.
+func (r *Resolver) Invalidate(name string, t RRType) {
+	cname, err := CanonicalName(name)
+	if err != nil {
+		return
+	}
+	key := cacheKey(cname, t)
+	r.cache.Delete(key)
+	if r.neg != nil {
+		r.neg.Delete(key)
+	}
+}
 
 // Purge empties the cache, the negative cache included.
 func (r *Resolver) Purge() {

@@ -124,11 +124,23 @@ type Config struct {
 	Metrics *metrics.Registry
 }
 
+// MetaClient is the client-side face of the meta-information repository:
+// the BIND HRPC interface's lookup, dynamic update, zone transfer, and
+// serial probe. *bind.HRPCClient (one modified BIND) satisfies it, and so
+// does *shard.Client (the namespace rendezvous-partitioned across bindd
+// shards) — the HNS library is indifferent to which.
+type MetaClient interface {
+	bind.Lookuper
+	Update(ctx context.Context, zone string, op uint32, rr bind.RR) (uint32, error)
+	Transfer(ctx context.Context, zone string) (uint32, []bind.RR, error)
+	Serial(ctx context.Context, zone string) (uint32, error)
+}
+
 // HNS is a local instance of the name service library.
 type HNS struct {
 	model    *simtime.Model
 	metaZone string
-	meta     *bind.HRPCClient
+	meta     MetaClient
 	resolver *bind.Resolver
 	rpc      *hrpc.Client
 
@@ -158,8 +170,10 @@ type hnsObs struct {
 	bindHits, bindMisses *metrics.Counter
 }
 
-// New creates an HNS over the given meta-BIND client.
-func New(meta *bind.HRPCClient, model *simtime.Model, cfg Config) *HNS {
+// New creates an HNS over the given meta-information client — usually a
+// *bind.HRPCClient for one modified BIND, or a *shard.Client when the
+// meta namespace is partitioned across bindd shards.
+func New(meta MetaClient, model *simtime.Model, cfg Config) *HNS {
 	zone := cfg.MetaZone
 	if zone == "" {
 		zone = "hns"

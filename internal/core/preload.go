@@ -2,8 +2,6 @@ package core
 
 import (
 	"context"
-
-	"hns/internal/bind"
 )
 
 // Cache preloading. "In those cases where the HNS used by the client is a
@@ -50,9 +48,9 @@ func (h *HNS) Fresh(ctx context.Context, lastSerial uint32) (bool, error) {
 	return serial == lastSerial, nil
 }
 
-// MetaClient exposes the underlying meta-BIND client (used by tooling that
-// needs raw access, e.g. hnsctl dump).
-func (h *HNS) MetaClient() *bind.HRPCClient { return h.meta }
+// MetaClient exposes the underlying meta-information client (used by
+// tooling that needs raw access, e.g. hnsctl dump).
+func (h *HNS) MetaClient() MetaClient { return h.meta }
 
 // SweepCache proactively removes expired meta-cache entries (long-lived
 // server hygiene); it reports how many were dropped.

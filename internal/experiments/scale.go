@@ -27,7 +27,9 @@ type ScaleSpec struct {
 	// Workers bounds the wall pass's concurrency (<= 0 means the
 	// workload default).
 	Workers int
-	// Scenarios names the scenarios to run; empty means all of them.
+	// Scenarios names the scenarios to run; empty means the pinned
+	// default matrix (scaleScenarios), so BENCH_scale.json stays
+	// bit-identical as new scenarios accrue elsewhere.
 	Scenarios []string
 }
 
@@ -44,15 +46,17 @@ func DefaultScaleSpec() ScaleSpec {
 	}
 }
 
+// scaleScenarios is the default matrix, pinned rather than derived from
+// workload.Scenarios(): scenarios added for other benches (shardloss
+// reports through BENCH_shard.json) must not silently change this file's
+// frozen shape.
+var scaleScenarios = []string{"coldstart", "flashcrowd", "primaryloss"}
+
 func (s ScaleSpec) scenarios() []string {
 	if len(s.Scenarios) > 0 {
 		return s.Scenarios
 	}
-	var names []string
-	for _, sc := range workload.Scenarios() {
-		names = append(names, sc.Name)
-	}
-	return names
+	return append([]string(nil), scaleScenarios...)
 }
 
 // ScaleRow is one (scenario, client-count) cell of the matrix. sim_*

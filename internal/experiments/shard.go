@@ -1,0 +1,561 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hns/internal/bind"
+	"hns/internal/hrpc"
+	"hns/internal/shard"
+	"hns/internal/simtime"
+	"hns/internal/transport"
+)
+
+// The shard experiment measures what partitioning the meta-store buys
+// and what it costs, over real (in-process) HRPC exchanges:
+//
+//   - Warm lookups: ops/sec through the shard-aware client at 1..N
+//     shards, against an unsharded single-bindd baseline. Owner routing
+//     is one hash — warm reads must not pay for the partitioning.
+//   - Update throughput: acked updates/sec at 1..N shards with every
+//     shard journaling each update at a fixed cost inside its journal
+//     lock. Journal sleeps overlap across shards even on one core (the
+//     muxthroughput discipline), so the scaling measured is the
+//     partitioning's, not the host's core count.
+//   - Kill one shard: per-name lookup latency before and after closing
+//     one shard's listener. Names the victim does not own keep resolving
+//     at pre-kill speed — their lookups never touch the dead endpoint —
+//     so the kept fraction of the namespace tracks (N-1)/N.
+//
+// Ownership splits are deterministic per seed; ops/sec and latencies are
+// wall-clock and vary with the host.
+
+// ShardSpec parameterizes the shard experiment.
+type ShardSpec struct {
+	// Shards are the shard counts measured by the lookup and update arms;
+	// the first entry must be 1 (the scaling denominator).
+	Shards []int
+	// Names is the namespace size: preloaded for the lookup and kill
+	// arms, cycled by the update arm.
+	Names int
+	// Lookups is the warm-lookup count per lookup arm.
+	Lookups int
+	// Updates is the acked-update count per update arm.
+	Updates int
+	// UpdateCost is each shard's journal cost per acked update.
+	UpdateCost time.Duration
+	// Workers is the client-side concurrency of the wall-clock arms.
+	Workers int
+	// KillShards is the shard count of the kill-one arm.
+	KillShards int
+	// Seed fixes the shard map's hash seed (and so the ownership split).
+	Seed int64
+}
+
+// DefaultShardSpec is the hnsbench configuration.
+func DefaultShardSpec() ShardSpec {
+	return ShardSpec{
+		Shards:     []int{1, 2, 4, 8},
+		Names:      256,
+		Lookups:    4000,
+		Updates:    320,
+		UpdateCost: 500 * time.Microsecond,
+		Workers:    16,
+		KillShards: 4,
+		Seed:       1987,
+	}
+}
+
+// Validate checks the spec.
+func (s ShardSpec) Validate() error {
+	switch {
+	case len(s.Shards) == 0:
+		return fmt.Errorf("experiments: shard arm needs at least one shard count")
+	case s.Shards[0] != 1:
+		return fmt.Errorf("experiments: first shard count must be 1 (the scaling denominator)")
+	case s.Names < 1:
+		return fmt.Errorf("experiments: shard names must be >= 1")
+	case s.Lookups < 1:
+		return fmt.Errorf("experiments: shard lookups must be >= 1")
+	case s.Updates < 1:
+		return fmt.Errorf("experiments: shard updates must be >= 1")
+	case s.UpdateCost <= 0:
+		return fmt.Errorf("experiments: shard update cost must be > 0")
+	case s.Workers < 1:
+		return fmt.Errorf("experiments: shard workers must be >= 1")
+	case s.KillShards < 2:
+		return fmt.Errorf("experiments: kill arm needs >= 2 shards")
+	}
+	for _, n := range s.Shards {
+		if n < 1 || n > 64 {
+			return fmt.Errorf("experiments: shard counts must be in [1, 64]")
+		}
+	}
+	return nil
+}
+
+// ShardLookupRow is one shard count's warm-lookup throughput.
+type ShardLookupRow struct {
+	Shards    int     `json:"shards"`
+	Lookups   int     `json:"lookups"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// ShardUpdateRow is one shard count's acked-update throughput.
+type ShardUpdateRow struct {
+	Shards        int     `json:"shards"`
+	Updates       int     `json:"updates"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	SpeedupVs1    float64 `json:"speedup_vs_1"`
+}
+
+// ShardKillRow is the kill-one availability arm: how much of the
+// namespace still answers at pre-kill speed after one shard dies.
+type ShardKillRow struct {
+	Shards        int     `json:"shards"`
+	VictimID      string  `json:"victim_id"`
+	VictimOwned   int     `json:"victim_owned"`
+	Names         int     `json:"names"`
+	Kept          int     `json:"kept"`
+	KeptFrac      float64 `json:"kept_frac"`
+	PrekillP99Ms  float64 `json:"prekill_p99_ms"`
+	SurvivorP99Ms float64 `json:"survivor_p99_ms"`
+}
+
+// ShardResult is one full run of the experiment.
+type ShardResult struct {
+	// BaselineLookupOpsPerSec is the unsharded single-bindd client's
+	// warm-lookup throughput (no shard client, no ownership gate).
+	BaselineLookupOpsPerSec float64          `json:"baseline_lookup_ops_per_sec"`
+	Lookup                  []ShardLookupRow `json:"lookup"`
+	Update                  []ShardUpdateRow `json:"update"`
+	Kill                    ShardKillRow     `json:"kill"`
+}
+
+// sleepJournal prices each acked update at a fixed cost inside the
+// server's journal lock: updates serialize per shard and overlap across
+// shards, exactly like per-shard disks would.
+type sleepJournal struct{ d time.Duration }
+
+func (j sleepJournal) LogUpdate(string, uint32, bind.RR, uint32) error {
+	time.Sleep(j.d)
+	return nil
+}
+func (j sleepJournal) LogReplace(string, uint32, []bind.RR) error { return nil }
+
+// benchMetaRR is the i-th synthetic meta record of the experiment's
+// namespace.
+func benchMetaRR(i int) bind.RR {
+	return bind.HNSMeta(fmt.Sprintf("n%04d.hns", i), fmt.Sprintf("shardbench=%d", i), 600)
+}
+
+// shardBenchEnv is one arm's sharded meta-store: n gated bindd-shaped
+// servers over an in-process network, and a shard-aware client.
+type shardBenchEnv struct {
+	net       *transport.Network
+	rpc       *hrpc.Client
+	m         shard.Map
+	listeners []transport.Listener
+	client    *shard.Client
+}
+
+func (e *shardBenchEnv) close() {
+	e.rpc.Close()
+	for _, ln := range e.listeners {
+		ln.Close()
+	}
+}
+
+// newShardBenchEnv stands up n shards, each loaded with its owned slice
+// of preload and journaling updates at updateCost (0 = free).
+func newShardBenchEnv(n int, seed int64, preload []bind.RR, updateCost time.Duration) (*shardBenchEnv, error) {
+	e := &shardBenchEnv{net: transport.NewNetwork(simtime.Default())}
+	members := make([]shard.Member, 0, n)
+	for i := 0; i < n; i++ {
+		members = append(members, shard.Member{
+			ID:   fmt.Sprintf("b%d", i),
+			Addr: fmt.Sprintf("bshard%d:bind-hrpc", i),
+		})
+	}
+	e.m = shard.Map{Epoch: 1, Seed: uint64(seed), Members: members}
+	ok := false
+	defer func() {
+		if !ok {
+			e.close()
+		}
+	}()
+	for i, mem := range members {
+		srv := bind.NewServer(fmt.Sprintf("bshard%d", i), simtime.Default())
+		z, err := bind.NewZone("hns", true)
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.AddZone(z); err != nil {
+			return nil, err
+		}
+		owned := make([]bind.RR, 0, len(preload)/n+1)
+		for _, rr := range preload {
+			if e.m.Owns(mem.ID, rr.Name) {
+				owned = append(owned, rr)
+			}
+		}
+		if err := z.Replace(owned, 1); err != nil {
+			return nil, err
+		}
+		if _, err := shard.Serve(srv, shard.ServingConfig{
+			ID:   mem.ID,
+			Zone: "hns",
+			Map:  e.m,
+		}); err != nil {
+			return nil, err
+		}
+		ln, _, err := srv.ServeHRPC(e.net, mem.Addr)
+		if err != nil {
+			return nil, err
+		}
+		e.listeners = append(e.listeners, ln)
+		// After Serve, so the map install is not priced as an update.
+		if updateCost > 0 {
+			srv.SetJournal(sleepJournal{d: updateCost})
+		}
+	}
+	e.rpc = hrpc.NewClient(e.net)
+	e.rpc.FreshConn = true
+	client, err := shard.NewClient(shard.ClientConfig{
+		Zone:    "hns",
+		Members: members,
+		Dial:    shard.NewDialer(e.rpc, hrpc.SuiteRaw),
+		Model:   simtime.Default(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.client = client
+	ok = true
+	return e, nil
+}
+
+// shardStorm runs total calls of f over a striped worker pool and
+// returns the first error.
+func shardStorm(workers, total int, f func(i int) error) error {
+	if workers > total {
+		workers = total
+	}
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += workers {
+				if err := f(i); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runShardLookupArm measures warm lookups/sec against n shards.
+func runShardLookupArm(ctx context.Context, spec ShardSpec, n int) (ShardLookupRow, error) {
+	preload := make([]bind.RR, spec.Names)
+	for i := range preload {
+		preload[i] = benchMetaRR(i)
+	}
+	e, err := newShardBenchEnv(n, spec.Seed, preload, 0)
+	if err != nil {
+		return ShardLookupRow{}, err
+	}
+	defer e.close()
+	lookup := func(i int) error {
+		_, err := e.client.Lookup(ctx, preload[i%spec.Names].Name, bind.TypeHNSMeta)
+		return err
+	}
+	// One unmeasured lap bootstraps the shard map and proves every name
+	// resolvable before the clock starts.
+	if err := shardStorm(spec.Workers, spec.Names, lookup); err != nil {
+		return ShardLookupRow{}, err
+	}
+	start := time.Now()
+	if err := shardStorm(spec.Workers, spec.Lookups, lookup); err != nil {
+		return ShardLookupRow{}, err
+	}
+	wall := time.Since(start)
+	return ShardLookupRow{
+		Shards:    n,
+		Lookups:   spec.Lookups,
+		OpsPerSec: float64(spec.Lookups) / wall.Seconds(),
+	}, nil
+}
+
+// runShardLookupBaseline measures the same warm-lookup storm against one
+// plain ungated bindd through a plain HRPC client — the unsharded path.
+func runShardLookupBaseline(ctx context.Context, spec ShardSpec) (float64, error) {
+	net := transport.NewNetwork(simtime.Default())
+	srv := bind.NewServer("bbase", simtime.Default())
+	z, err := bind.NewZone("hns", true)
+	if err != nil {
+		return 0, err
+	}
+	if err := srv.AddZone(z); err != nil {
+		return 0, err
+	}
+	preload := make([]bind.RR, spec.Names)
+	for i := range preload {
+		preload[i] = benchMetaRR(i)
+	}
+	if err := z.Replace(preload, 1); err != nil {
+		return 0, err
+	}
+	ln, binding, err := srv.ServeHRPC(net, "bbase:bind-hrpc")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	rpc := hrpc.NewClient(net)
+	rpc.FreshConn = true
+	defer rpc.Close()
+	client := bind.NewHRPCClient(rpc, binding)
+	lookup := func(i int) error {
+		_, err := client.Lookup(ctx, preload[i%spec.Names].Name, bind.TypeHNSMeta)
+		return err
+	}
+	if err := shardStorm(spec.Workers, spec.Names, lookup); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := shardStorm(spec.Workers, spec.Lookups, lookup); err != nil {
+		return 0, err
+	}
+	return float64(spec.Lookups) / time.Since(start).Seconds(), nil
+}
+
+// runShardUpdateArm measures acked updates/sec against n journaling
+// shards.
+func runShardUpdateArm(ctx context.Context, spec ShardSpec, n int) (ShardUpdateRow, error) {
+	e, err := newShardBenchEnv(n, spec.Seed, nil, spec.UpdateCost)
+	if err != nil {
+		return ShardUpdateRow{}, err
+	}
+	defer e.close()
+	start := time.Now()
+	err = shardStorm(spec.Workers, spec.Updates, func(i int) error {
+		rr := bind.HNSMeta(fmt.Sprintf("u%04d.hns", i%spec.Names), fmt.Sprintf("gen=%d", i), 600)
+		_, err := e.client.Update(ctx, "hns", bind.UpdateAdd, rr)
+		return err
+	})
+	if err != nil {
+		return ShardUpdateRow{}, err
+	}
+	wall := time.Since(start)
+	return ShardUpdateRow{
+		Shards:        n,
+		Updates:       spec.Updates,
+		UpdatesPerSec: float64(spec.Updates) / wall.Seconds(),
+	}, nil
+}
+
+// wallP99 reads the 99th percentile of a latency sample.
+func wallP99(sample []time.Duration) time.Duration {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[int(0.99*float64(len(sorted)-1)+0.5)]
+}
+
+// runShardKillArm measures per-name lookup latency before and after
+// closing one shard's listener. kept counts names that still answer
+// within the pre-kill p99.
+func runShardKillArm(ctx context.Context, spec ShardSpec) (ShardKillRow, error) {
+	n := spec.KillShards
+	preload := make([]bind.RR, spec.Names)
+	for i := range preload {
+		preload[i] = benchMetaRR(i)
+	}
+	e, err := newShardBenchEnv(n, spec.Seed, preload, 0)
+	if err != nil {
+		return ShardKillRow{}, err
+	}
+	defer e.close()
+
+	// Per-name latency is the mean of a few samples, best of two laps, on
+	// both sides of the kill: single in-process samples are at the mercy
+	// of the scheduler, and the question is what latency each name's
+	// lookups achieve, not what one unlucky sample saw.
+	const killSamples = 4
+	timeAll := func() ([]time.Duration, []error) {
+		lat := make([]time.Duration, spec.Names)
+		errs := make([]error, spec.Names)
+		for lap := 0; lap < 2; lap++ {
+			for i := range preload {
+				var total time.Duration
+				var sampleErr error
+				for s := 0; s < killSamples; s++ {
+					start := time.Now()
+					_, err := e.client.Lookup(ctx, preload[i].Name, bind.TypeHNSMeta)
+					total += time.Since(start)
+					if err != nil {
+						sampleErr = err
+					}
+				}
+				d := total / killSamples
+				if lap == 0 || d < lat[i] {
+					lat[i] = d
+					errs[i] = sampleErr
+				}
+			}
+		}
+		return lat, errs
+	}
+
+	// Warm lap (bootstraps the map), then the measured pre-kill laps.
+	_, warmErrs := timeAll()
+	for _, err := range warmErrs {
+		if err != nil {
+			return ShardKillRow{}, err
+		}
+	}
+	preLat, preErrs := timeAll()
+	for _, err := range preErrs {
+		if err != nil {
+			return ShardKillRow{}, err
+		}
+	}
+	prekillP99 := wallP99(preLat)
+
+	victim := e.m.Members[n-1]
+	victimOwned := 0
+	for _, rr := range preload {
+		if e.m.Owns(victim.ID, rr.Name) {
+			victimOwned++
+		}
+	}
+	e.listeners[n-1].Close()
+
+	// Kept = names still answering authoritatively. Their lookups never
+	// touch the dead endpoint (owner routing), so the latency evidence is
+	// the survivors' p99 next to the pre-kill p99 — same distribution, no
+	// failover penalty — rather than a per-name race against scheduler
+	// noise at microsecond scale.
+	postLat, postErrs := timeAll()
+	kept := 0
+	var survivor []time.Duration
+	for i := range preload {
+		if postErrs[i] != nil {
+			continue
+		}
+		survivor = append(survivor, postLat[i])
+		kept++
+	}
+	return ShardKillRow{
+		Shards:        n,
+		VictimID:      victim.ID,
+		VictimOwned:   victimOwned,
+		Names:         spec.Names,
+		Kept:          kept,
+		KeptFrac:      float64(kept) / float64(spec.Names),
+		PrekillP99Ms:  float64(prekillP99) / float64(time.Millisecond),
+		SurvivorP99Ms: float64(wallP99(survivor)) / float64(time.Millisecond),
+	}, nil
+}
+
+// RunShard runs the full experiment: the lookup baseline and per-count
+// lookup arms, the journaled update arms, then the kill-one arm.
+func RunShard(ctx context.Context, spec ShardSpec) (ShardResult, error) {
+	var res ShardResult
+	if err := spec.Validate(); err != nil {
+		return res, err
+	}
+	var err error
+	if res.BaselineLookupOpsPerSec, err = runShardLookupBaseline(ctx, spec); err != nil {
+		return res, fmt.Errorf("experiments: shard lookup baseline: %w", err)
+	}
+	for _, n := range spec.Shards {
+		row, err := runShardLookupArm(ctx, spec, n)
+		if err != nil {
+			return res, fmt.Errorf("experiments: shard lookup arm (%d shards): %w", n, err)
+		}
+		res.Lookup = append(res.Lookup, row)
+	}
+	for _, n := range spec.Shards {
+		row, err := runShardUpdateArm(ctx, spec, n)
+		if err != nil {
+			return res, fmt.Errorf("experiments: shard update arm (%d shards): %w", n, err)
+		}
+		if base := res.Update; len(base) > 0 && base[0].UpdatesPerSec > 0 {
+			row.SpeedupVs1 = row.UpdatesPerSec / base[0].UpdatesPerSec
+		} else if len(res.Update) == 0 {
+			row.SpeedupVs1 = 1
+		}
+		res.Update = append(res.Update, row)
+	}
+	if res.Kill, err = runShardKillArm(ctx, spec); err != nil {
+		return res, fmt.Errorf("experiments: shard kill arm: %w", err)
+	}
+	return res, nil
+}
+
+// ShardDoc is the BENCH_shard.json document.
+type ShardDoc struct {
+	Schema string `json:"schema"`
+	Note   string `json:"note"`
+	Spec   struct {
+		Shards       []int   `json:"shards"`
+		Names        int     `json:"names"`
+		Lookups      int     `json:"lookups"`
+		Updates      int     `json:"updates"`
+		UpdateCostMs float64 `json:"update_cost_ms"`
+		Workers      int     `json:"workers"`
+		KillShards   int     `json:"kill_shards"`
+		Seed         int64   `json:"seed"`
+	} `json:"spec"`
+	Result ShardResult `json:"result"`
+}
+
+// ShardSchema identifies the BENCH_shard.json layout; bump it when a
+// field changes meaning, not just when a field is added.
+const ShardSchema = "hns/bench-shard/v1"
+
+// BuildShardDoc assembles the document around a measured result.
+func BuildShardDoc(spec ShardSpec, res ShardResult) ShardDoc {
+	var doc ShardDoc
+	doc.Schema = ShardSchema
+	doc.Note = "ownership splits are deterministic per seed; ops/sec and latencies are " +
+		"wall-clock against the host (journal sleeps overlap across shards even on one core)"
+	doc.Spec.Shards = spec.Shards
+	doc.Spec.Names = spec.Names
+	doc.Spec.Lookups = spec.Lookups
+	doc.Spec.Updates = spec.Updates
+	doc.Spec.UpdateCostMs = float64(spec.UpdateCost) / float64(time.Millisecond)
+	doc.Spec.Workers = spec.Workers
+	doc.Spec.KillShards = spec.KillShards
+	doc.Spec.Seed = spec.Seed
+	doc.Result = res
+	return doc
+}
+
+// EncodeShardDoc renders the document as the file's canonical JSON.
+func EncodeShardDoc(doc ShardDoc) ([]byte, error) {
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

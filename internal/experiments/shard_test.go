@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestShardDocGolden locks the BENCH_shard.json schema: field names,
+// nesting, and ordering. The result is a synthetic fixture, so the
+// golden file captures the document layout without depending on the
+// host; regenerate with `go test ./internal/experiments -run
+// ShardDocGolden -update-golden` when the schema intentionally changes
+// (and bump ShardSchema).
+func TestShardDocGolden(t *testing.T) {
+	spec := DefaultShardSpec()
+	res := ShardResult{
+		BaselineLookupOpsPerSec: 200000.5,
+		Lookup: []ShardLookupRow{
+			{Shards: 1, Lookups: 4000, OpsPerSec: 198000.25},
+			{Shards: 4, Lookups: 4000, OpsPerSec: 185000.75},
+		},
+		Update: []ShardUpdateRow{
+			{Shards: 1, Updates: 320, UpdatesPerSec: 800.5, SpeedupVs1: 1},
+			{Shards: 4, Updates: 320, UpdatesPerSec: 2900.25, SpeedupVs1: 3.62},
+		},
+		Kill: ShardKillRow{
+			Shards: 4, VictimID: "b3", VictimOwned: 63, Names: 256,
+			Kept: 193, KeptFrac: 0.75390625,
+			PrekillP99Ms: 0.0101, SurvivorP99Ms: 0.0112,
+		},
+	}
+	buf, err := EncodeShardDoc(BuildShardDoc(spec, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "BENCH_shard.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(want) {
+		t.Errorf("BENCH_shard.json schema drifted from %s;\ngot:\n%s\nwant:\n%s\n"+
+			"(rerun with -update-golden and bump ShardSchema if intentional)",
+			golden, buf, want)
+	}
+}
+
+func TestShardSpecValidate(t *testing.T) {
+	good := DefaultShardSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default shard spec rejected: %v", err)
+	}
+	bad := []ShardSpec{
+		func() ShardSpec { s := good; s.Shards = nil; return s }(),
+		func() ShardSpec { s := good; s.Shards = []int{2, 4}; return s }(),
+		func() ShardSpec { s := good; s.Shards = []int{1, 65}; return s }(),
+		func() ShardSpec { s := good; s.Names = 0; return s }(),
+		func() ShardSpec { s := good; s.Lookups = 0; return s }(),
+		func() ShardSpec { s := good; s.Updates = 0; return s }(),
+		func() ShardSpec { s := good; s.UpdateCost = 0; return s }(),
+		func() ShardSpec { s := good; s.Workers = 0; return s }(),
+		func() ShardSpec { s := good; s.KillShards = 1; return s }(),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad shard spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// smallShardSpec keeps the experiment fast enough for the ordinary test
+// tier; the full DefaultShardSpec runs in hnsbench and smoke.sh. Names
+// is chosen so the kill victim owns exactly its fair share (32 of 128),
+// making the kept-fraction bar exact, not probabilistic.
+func smallShardSpec() ShardSpec {
+	return ShardSpec{
+		Shards:     []int{1, 4},
+		Names:      128,
+		Lookups:    600,
+		Updates:    96,
+		UpdateCost: 2 * time.Millisecond,
+		Workers:    8,
+		KillShards: 4,
+		Seed:       1987,
+	}
+}
+
+// TestRunShardContracts runs the whole experiment small and asserts the
+// PR's bench bars where they are host-independent (ownership, kept
+// counts) and directional with re-measures where they are wall-clock
+// (throughput scaling, latency parity).
+func TestRunShardContracts(t *testing.T) {
+	ctx := context.Background()
+	spec := smallShardSpec()
+	res, err := RunShard(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic: the seeded rendezvous split gives the victim at most
+	// a fair share, and the kill loses exactly the victim's slice — every
+	// other name keeps answering, so >= (N-1)/N of the namespace is kept.
+	k := res.Kill
+	if k.VictimOwned > spec.Names/spec.KillShards {
+		t.Fatalf("victim owns %d of %d names, above the fair share %d (retune Names/Seed)",
+			k.VictimOwned, spec.Names, spec.Names/spec.KillShards)
+	}
+	if k.Kept != spec.Names-k.VictimOwned {
+		t.Fatalf("kill arm kept %d names, want %d (all but the victim's slice)",
+			k.Kept, spec.Names-k.VictimOwned)
+	}
+	if bar := float64(spec.KillShards-1) / float64(spec.KillShards); k.KeptFrac < bar {
+		t.Fatalf("kept fraction %.4f below (N-1)/N = %.4f", k.KeptFrac, bar)
+	}
+
+	// Wall-clock, directional: survivors never touch the dead endpoint,
+	// so their p99 must stay in the pre-kill p99's neighbourhood — a
+	// failover penalty would show up as orders of magnitude, not a small
+	// factor. Scheduler noise at microsecond scale gets two re-measures.
+	for retry := 0; k.SurvivorP99Ms > 3*k.PrekillP99Ms && retry < 2; retry++ {
+		t.Logf("survivor p99 %.4fms vs pre-kill %.4fms, re-measuring", k.SurvivorP99Ms, k.PrekillP99Ms)
+		if k, err = runShardKillArm(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.SurvivorP99Ms > 3*k.PrekillP99Ms {
+		t.Errorf("survivors slowed down: p99 %.4fms vs pre-kill %.4fms", k.SurvivorP99Ms, k.PrekillP99Ms)
+	}
+
+	// The scaling bar: 1 -> 4 shards must lift journaled update
+	// throughput >= 2.5x. Journal sleeps dominate and overlap across
+	// shards even on one core, so this is robust — but it is wall-clock,
+	// so an apparent miss gets two re-measurements.
+	up := res.Update[len(res.Update)-1]
+	if up.Shards != 4 {
+		t.Fatalf("last update row is %d shards, want 4", up.Shards)
+	}
+	speedup := up.SpeedupVs1
+	for retry := 0; speedup < 2.5 && retry < 2; retry++ {
+		t.Logf("update scaling %.2fx below bar, re-measuring", speedup)
+		base, err := runShardUpdateArm(ctx, spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		four, err := runShardUpdateArm(ctx, spec, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup = four.UpdatesPerSec / base.UpdatesPerSec
+	}
+	if speedup < 2.5 {
+		t.Errorf("update throughput scaled %.2fx from 1 to 4 shards, want >= 2.5x", speedup)
+	}
+
+	// The parity bar: warm lookups through the shard client at 1 shard
+	// must not be materially slower than the plain unsharded client —
+	// owner routing is one hash. Wall-clock, so directional with slack.
+	if res.BaselineLookupOpsPerSec <= 0 || res.Lookup[0].OpsPerSec <= 0 {
+		t.Fatalf("lookup arms did not run: %+v", res)
+	}
+	ratio := res.Lookup[0].OpsPerSec / res.BaselineLookupOpsPerSec
+	for retry := 0; ratio < 0.7 && retry < 2; retry++ {
+		t.Logf("1-shard lookups at %.2fx of baseline, re-measuring", ratio)
+		base, err := runShardLookupBaseline(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := runShardLookupArm(ctx, spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio = one.OpsPerSec / base
+	}
+	if ratio < 0.7 {
+		t.Errorf("sharded warm lookups at 1 shard run at %.2fx of the unsharded baseline", ratio)
+	}
+}
+
+// TestShardKillDeterministicSplit pins the ownership arithmetic the kill
+// arm's availability claim rests on: the same spec always yields the
+// same victim slice.
+func TestShardKillDeterministicSplit(t *testing.T) {
+	spec := smallShardSpec()
+	e, err := newShardBenchEnv(spec.KillShards, spec.Seed, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.close()
+	victim := e.m.Members[spec.KillShards-1]
+	owned := 0
+	for i := 0; i < spec.Names; i++ {
+		if e.m.Owns(victim.ID, benchMetaRR(i).Name) {
+			owned++
+		}
+	}
+	if owned != 32 {
+		t.Fatalf("victim %s owns %d of %d names, want 32 (the pinned fair share)",
+			victim.ID, owned, spec.Names)
+	}
+}

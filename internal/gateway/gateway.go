@@ -44,24 +44,35 @@ type Config struct {
 }
 
 // Gateway is an HNS front door: an HRPC server whose Finder is a remote
-// backend.
+// backend (or a Pool of them).
 type Gateway struct {
-	srv    *hrpc.Server
-	remote *core.RemoteHNS
-	admit  *admission.Controller
+	srv   *hrpc.Server
+	admit *admission.Controller
 }
 
 // New builds a gateway forwarding to the HNS service bound at backend.
 // The client carries the gateway's upstream connection pool (and its
 // retry policy, breakers, and deadline propagation).
 func New(client *hrpc.Client, backend hrpc.Binding, cfg Config) *Gateway {
+	client.PropagateDeadline = cfg.PropagateDeadline
+	return NewWithFinder(core.NewRemoteHNS(client, backend), cfg)
+}
+
+// NewPooled builds a gateway spreading admitted calls round-robin over
+// several equivalent backends, failing over on unreachability.
+func NewPooled(client *hrpc.Client, backends []hrpc.Binding, cfg Config) *Gateway {
+	client.PropagateDeadline = cfg.PropagateDeadline
+	return NewWithFinder(NewPool(client, backends), cfg)
+}
+
+// NewWithFinder builds a gateway over any Finder (the other
+// constructors' common core).
+func NewWithFinder(f core.Finder, cfg Config) *Gateway {
 	if cfg.Name == "" {
 		cfg.Name = "hnsgw"
 	}
-	client.PropagateDeadline = cfg.PropagateDeadline
-	remote := core.NewRemoteHNS(client, backend)
-	srv := core.NewFinderServer(remote, cfg.Name)
-	g := &Gateway{srv: srv, remote: remote}
+	srv := core.NewFinderServer(f, cfg.Name)
+	g := &Gateway{srv: srv}
 	if cfg.Admission != nil {
 		ac := *cfg.Admission
 		if ac.Server == "" {

@@ -1,0 +1,275 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hns/internal/bind"
+	"hns/internal/hrpc"
+	"hns/internal/metrics"
+	"hns/internal/simtime"
+)
+
+// Dialer turns a shard address into a BIND HRPC client. Callers supply
+// it because binding construction differs between the in-process world
+// and real sockets; clients are memoized per address, so a Dialer is
+// called once per endpoint.
+type Dialer func(addr string) *bind.HRPCClient
+
+// NewDialer is the common Dialer: one shared *hrpc.Client (its pool,
+// breakers, and mux settings) with a per-shard binding over the given
+// suite. Shards deliberately do NOT become replicas of one another —
+// each endpoint keeps its own breaker, and cross-shard failover would
+// route writes to a non-owner.
+func NewDialer(rpc *hrpc.Client, suite hrpc.Suite) Dialer {
+	return func(addr string) *bind.HRPCClient {
+		return bind.NewHRPCClient(rpc,
+			suite.Bind(addr, addr, bind.HRPCProgram, bind.HRPCVersion))
+	}
+}
+
+// ClientConfig configures NewClient.
+type ClientConfig struct {
+	// Zone is the sharded zone (default "hns").
+	Zone string
+	// Members is the bootstrap shard set — enough to fetch the shard
+	// map; the map itself governs routing from then on.
+	Members []Member
+	// Dial builds the per-shard BIND clients.
+	Dial Dialer
+	// Router overrides the internally built router (tests); normally
+	// nil.
+	Router *Router
+	// RouterConfig tunes the internally built router.
+	RouterConfig RouterConfig
+	// Model prices the router's map lookups; required.
+	Model *simtime.Model
+	// Metrics instruments redirect/retry counters; nil uses
+	// metrics.Default().
+	Metrics *metrics.Registry
+}
+
+// Client is the shard-aware meta client: it satisfies core.MetaClient by
+// routing every lookup and update to the owning shard under the cached
+// shard map, retrying updates once through a map refresh when a shard
+// answers NOTOWNER. Transfers and serial probes span all members (they
+// are whole-zone operations).
+type Client struct {
+	zone   string
+	router *Router
+	dial   Dialer
+
+	mu      sync.RWMutex
+	clients map[string]*bind.HRPCClient // by member addr
+
+	redirects *metrics.Counter // shard_redirect_total
+	retried   *metrics.Counter // shard_redirect_retry_ok_total
+}
+
+// NewClient builds a shard-aware meta client over the bootstrap member
+// set.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("shard: ClientConfig.Dial is required")
+	}
+	if len(cfg.Members) == 0 && cfg.Router == nil {
+		return nil, fmt.Errorf("shard: ClientConfig.Members is required")
+	}
+	zone := cfg.Zone
+	if zone == "" {
+		zone = "hns"
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	c := &Client{
+		zone:      zone,
+		dial:      cfg.Dial,
+		clients:   make(map[string]*bind.HRPCClient),
+		redirects: reg.Counter("shard_redirect_total"),
+		retried:   reg.Counter("shard_redirect_retry_ok_total"),
+	}
+	c.router = cfg.Router
+	if c.router == nil {
+		boot := make([]*bind.HRPCClient, 0, len(cfg.Members))
+		for _, m := range cfg.Members {
+			boot = append(boot, c.client(m.Addr))
+		}
+		rcfg := cfg.RouterConfig
+		rcfg.Zone = zone
+		if rcfg.Metrics == nil {
+			rcfg.Metrics = reg
+		}
+		c.router = NewRouter(NewBootstrap(boot...), cfg.Model, rcfg)
+	}
+	return c, nil
+}
+
+// Router exposes the client's shard-map router (daemons seed or inspect
+// it; hnsctl renders it).
+func (c *Client) Router() *Router { return c.router }
+
+// client memoizes the per-address BIND client.
+func (c *Client) client(addr string) *bind.HRPCClient {
+	c.mu.RLock()
+	cl := c.clients[addr]
+	c.mu.RUnlock()
+	if cl != nil {
+		return cl
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl := c.clients[addr]; cl != nil {
+		return cl
+	}
+	cl = c.dial(addr)
+	c.clients[addr] = cl
+	return cl
+}
+
+// owner resolves name's owning member and its client.
+func (c *Client) owner(ctx context.Context, name string) (Member, *bind.HRPCClient, error) {
+	owner, err := c.router.Owner(ctx, name)
+	if err != nil {
+		return Member{}, nil, err
+	}
+	return owner, c.client(owner.Addr), nil
+}
+
+// Lookup implements bind.Lookuper: straight to the owning shard — no
+// fan-out, no extra hop. Serve-stale and breaker behavior for a dead
+// owner live in the caller's resolver layer, exactly as with a single
+// meta-BIND.
+func (c *Client) Lookup(ctx context.Context, name string, t bind.RRType) ([]bind.RR, error) {
+	cname, err := bind.CanonicalName(name)
+	if err != nil {
+		return nil, err
+	}
+	_, cl, err := c.owner(ctx, cname)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Lookup(ctx, cname, t)
+}
+
+// Update implements the dynamic-update half of core.MetaClient: route
+// to the owner under the cached map; on a NOTOWNER redirect, refresh
+// the map once (singleflighted across callers) and retry against the
+// new owner.
+func (c *Client) Update(ctx context.Context, zone string, op uint32, rr bind.RR) (uint32, error) {
+	cname, err := bind.CanonicalName(rr.Name)
+	if err != nil {
+		return 0, err
+	}
+	m, err := c.router.Map(ctx)
+	if err != nil {
+		return 0, err
+	}
+	owner, ok := m.Owner(cname)
+	if !ok {
+		return 0, fmt.Errorf("shard: empty map for %s", c.zone)
+	}
+	serial, err := c.client(owner.Addr).Update(ctx, zone, op, rr)
+	var noe *bind.NotOwnerError
+	if !errors.As(err, &noe) {
+		return serial, err
+	}
+	// Our map is stale: the contacted shard routed this name elsewhere.
+	// One refresh, one retry — if the refreshed map still disagrees, the
+	// error stands (something is genuinely inconsistent, and retrying
+	// in a loop would hide it).
+	c.redirects.Inc()
+	fresh, ferr := c.router.Refresh(ctx, m.Epoch)
+	if ferr != nil {
+		return serial, fmt.Errorf("%w (map refresh failed: %v)", err, ferr)
+	}
+	next, ok := fresh.Owner(cname)
+	if !ok || next.Addr == owner.Addr {
+		return serial, err
+	}
+	serial, err = c.client(next.Addr).Update(ctx, zone, op, rr)
+	if err == nil {
+		c.retried.Inc()
+	}
+	return serial, err
+}
+
+// Transfer implements the zone-transfer half of core.MetaClient. A
+// sharded zone's contents live across all members, so the transfer
+// fans out and merges: records deduplicate exactly (a rebalance
+// in flight leaves the same record on two shards), and the serial is
+// the per-shard maximum — monotone, which is all the preload/freshness
+// machinery relies on. Dead members are skipped; the transfer fails
+// only if every member is unreachable.
+func (c *Client) Transfer(ctx context.Context, zone string) (uint32, []bind.RR, error) {
+	m, err := c.router.Map(ctx)
+	if err != nil {
+		return 0, nil, err
+	}
+	var (
+		maxSerial uint32
+		merged    []bind.RR
+		got       bool
+		lastErr   error
+	)
+	seen := make(map[string]bool)
+	for _, mem := range m.Members {
+		serial, rrs, err := c.client(mem.Addr).Transfer(ctx, zone)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		got = true
+		if serial > maxSerial {
+			maxSerial = serial
+		}
+		for _, rr := range rrs {
+			key := rr.Name + "\x00" + rr.Type.String() + "\x00" + string(rr.Data)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			merged = append(merged, rr)
+		}
+	}
+	if !got {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("shard: no members in map for %s", zone)
+		}
+		return 0, nil, lastErr
+	}
+	bind.SortRRs(merged)
+	return maxSerial, merged, nil
+}
+
+// Serial implements the freshness probe: the maximum member serial,
+// matching Transfer's merged view.
+func (c *Client) Serial(ctx context.Context, zone string) (uint32, error) {
+	m, err := c.router.Map(ctx)
+	if err != nil {
+		return 0, err
+	}
+	var (
+		maxSerial uint32
+		got       bool
+		lastErr   error
+	)
+	for _, mem := range m.Members {
+		serial, err := c.client(mem.Addr).Serial(ctx, zone)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		got = true
+		if serial > maxSerial {
+			maxSerial = serial
+		}
+	}
+	if !got {
+		return 0, lastErr
+	}
+	return maxSerial, nil
+}

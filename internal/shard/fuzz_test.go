@@ -1,0 +1,42 @@
+package shard
+
+import "testing"
+
+// FuzzShardMapDecode: the decoder must never panic, and any payload it
+// accepts must re-encode byte-identically (the canonical-form contract)
+// and survive a second decode to an equal map.
+func FuzzShardMapDecode(f *testing.F) {
+	f.Add("")
+	f.Add("shardmap/v1;epoch=1;seed=0;members=a@x")
+	f.Add("shardmap/v1;epoch=4294967295;seed=18446744073709551615;members=a@x,b@y,c@z")
+	f.Add(testMap(8, 7, 12345).Encode())
+	f.Add("shardmap/v1;epoch=1;seed=0;members=b@x,a@y")
+	f.Add("shardmap/v2;epoch=1;seed=0;members=a@x")
+	f.Add("shardmap/v1;epoch=1;epoch=2;seed=0;members=a@x")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := Decode(s)
+		if err != nil {
+			return
+		}
+		enc := m.Encode()
+		if enc != s {
+			t.Fatalf("accepted %q but re-encodes to %q", s, enc)
+		}
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %q: %v", enc, err)
+		}
+		if m2.Epoch != m.Epoch || m2.Seed != m.Seed || len(m2.Members) != len(m.Members) {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", m, m2)
+		}
+		for i := range m.Members {
+			if m.Members[i] != m2.Members[i] {
+				t.Fatalf("member %d mismatch: %+v vs %+v", i, m.Members[i], m2.Members[i])
+			}
+		}
+		// An accepted map must route: every member reachable by Owner.
+		if _, ok := m.Owner("probe.hns"); !ok {
+			t.Fatalf("accepted map %q owns nothing", s)
+		}
+	})
+}

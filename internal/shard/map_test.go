@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"hns/internal/bind"
+)
+
+func TestMapEncodeDecodeRoundTrip(t *testing.T) {
+	m := Map{
+		Epoch: 7,
+		Seed:  0xdeadbeef,
+		Members: []Member{
+			{ID: "a", Addr: "hosta:bind-hrpc"},
+			{ID: "b", Addr: "hostb:bind-hrpc"},
+		},
+	}
+	enc := m.Encode()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode(%q): %v", enc, err)
+	}
+	if got.Epoch != m.Epoch || got.Seed != m.Seed || len(got.Members) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Encode() != enc {
+		t.Fatalf("re-encode %q != %q", got.Encode(), enc)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	good := testMap(2, 1, 5).Encode()
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"wrong version", strings.Replace(good, "shardmap/v1", "shardmap/v2", 1)},
+		{"no members", "shardmap/v1;epoch=1;seed=5;members="},
+		{"missing epoch", "shardmap/v1;seed=5;members=a@x"},
+		{"repeated field", good + ";epoch=9"},
+		{"unknown field", good + ";color=red"},
+		{"unsorted members", "shardmap/v1;epoch=1;seed=0;members=b@x,a@y"},
+		{"dup member", "shardmap/v1;epoch=1;seed=0;members=a@x,a@y"},
+		{"member no addr", "shardmap/v1;epoch=1;seed=0;members=a"},
+		{"bad epoch", "shardmap/v1;epoch=zap;seed=0;members=a@x"},
+		{"trailing junk", good + ";"},
+		{"metacharacter in id", "shardmap/v1;epoch=1;seed=0;members=a b@x"},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.in); err == nil {
+			t.Errorf("%s: Decode(%q) accepted", c.name, c.in)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Map
+	}{
+		{"no members", Map{Epoch: 1}},
+		{"unsorted", Map{Epoch: 1, Members: []Member{{ID: "b", Addr: "x"}, {ID: "a", Addr: "y"}}}},
+		{"dup id", Map{Epoch: 1, Members: []Member{{ID: "a", Addr: "x"}, {ID: "a", Addr: "y"}}}},
+		{"empty id", Map{Epoch: 1, Members: []Member{{ID: "", Addr: "x"}}}},
+		{"empty addr", Map{Epoch: 1, Members: []Member{{ID: "a", Addr: ""}}}},
+		{"comma in addr", Map{Epoch: 1, Members: []Member{{ID: "a", Addr: "x,y"}}}},
+		{"at in id", Map{Epoch: 1, Members: []Member{{ID: "a@b", Addr: "x"}}}},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.m)
+		}
+	}
+	// Oversize: enough members to exceed the RDATA cap.
+	big := Map{Epoch: 1}
+	for i := 0; i < 40; i++ {
+		big.Members = append(big.Members, Member{
+			ID:   "shard-" + string(rune('a'+i/26)) + string(rune('a'+i%26)),
+			Addr: "very-long-host-name-" + strings.Repeat("x", 8),
+		})
+	}
+	if err := big.Validate(); err == nil {
+		t.Errorf("oversize map validated (encoded %d bytes)", len(big.Encode()))
+	}
+}
+
+func TestFromRecordsPrefersHighestEpoch(t *testing.T) {
+	zone := "hns"
+	old := testMap(2, 3, 0)
+	fresh := testMap(2, 4, 1)
+	oldRR, err := Record(old, zone, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRR, err := Record(fresh, zone, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotation transient: both encodings present at once.
+	m, err := FromRecords([]bind.RR{oldRR, newRR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 4 {
+		t.Fatalf("epoch = %d, want 4", m.Epoch)
+	}
+	if _, err := FromRecords(nil); err == nil {
+		t.Fatal("FromRecords(nil) succeeded")
+	}
+	// A garbage record alongside a good one does not poison the map.
+	junk := bind.HNSMeta(MapName(zone), "not a shard map", 60)
+	if m, err = FromRecords([]bind.RR{junk, newRR}); err != nil || m.Epoch != 4 {
+		t.Fatalf("FromRecords with junk = %+v, %v", m, err)
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("b=hostb:53,a=hosta:53")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].ID != "a" || ms[1].ID != "b" {
+		t.Fatalf("ParseMembers = %+v (want sorted by ID)", ms)
+	}
+	for _, bad := range []string{"", "a", "a=", "=x", "a=x,a=y", "a=x,,b=y"} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRecordNameAndType(t *testing.T) {
+	m := testMap(2, 1, 0)
+	rr, err := Record(m, "hns", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Name != "_shardmap.hns" || rr.Type != bind.TypeHNSMeta || rr.TTL != DefaultMapTTL {
+		t.Fatalf("Record = %+v", rr)
+	}
+	if _, err := Record(Map{}, "hns", 0); err == nil {
+		t.Fatal("Record of invalid map succeeded")
+	}
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hns/internal/bind"
+	"hns/internal/metrics"
+)
+
+// Peer is one rebalance source: a fellow shard's ID and a client for
+// its HRPC interface.
+type Peer struct {
+	ID     string
+	Client *bind.HRPCClient
+}
+
+// Puller is the receiving half of shard rebalancing. After an epoch
+// bump hands this shard new names, Pull fetches each peer's zone by the
+// existing secondary transfer path — serial probe first, full transfer
+// only when the peer's zone moved — and applies the records this shard
+// now owns through the server's ordinary update path (journaled,
+// reply-invalidating, gate-approved since the owner is us). The old
+// owner keeps serving the moved slice until we have it, so there is no
+// window in which the records answer NXDOMAIN anywhere.
+type Puller struct {
+	serving *Serving
+	srv     *bind.Server
+	zone    string
+	peers   []Peer
+
+	// lastSerial remembers each peer's zone serial at the last pull, so
+	// an unchanged peer costs one Serial probe, not a transfer.
+	lastSerial map[string]uint32
+
+	pulled    *metrics.Counter // shard_rebalance_pulled_total{shard=...}
+	transfers *metrics.Counter // shard_rebalance_transfers_total{shard=...}
+}
+
+// NewPuller builds a puller feeding srv's sharded zone from peers.
+// Peers with this shard's own ID are skipped.
+func NewPuller(serving *Serving, srv *bind.Server, peers []Peer, reg *metrics.Registry) *Puller {
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	return &Puller{
+		serving:    serving,
+		srv:        srv,
+		zone:       serving.zone,
+		peers:      peers,
+		lastSerial: make(map[string]uint32),
+		pulled: reg.Counter(metrics.Labels("shard_rebalance_pulled_total",
+			"shard", serving.ID())),
+		transfers: reg.Counter(metrics.Labels("shard_rebalance_transfers_total",
+			"shard", serving.ID())),
+	}
+}
+
+// Pull runs one rebalance round: probe every peer, transfer the moved
+// ones, and install the records this shard owns under its current map.
+// It reports how many records were newly installed. Unreachable peers
+// are skipped (their error is returned alongside the count so callers
+// can log it); the next round retries them.
+func (p *Puller) Pull(ctx context.Context) (int, error) {
+	m := p.serving.Map()
+	z := p.srv.Zone(p.zone)
+	if z == nil {
+		return 0, fmt.Errorf("shard: zone %q not served", p.zone)
+	}
+	installed := 0
+	var errs []error
+	for _, peer := range p.peers {
+		if peer.ID == p.serving.ID() {
+			continue
+		}
+		serial, err := peer.Client.Serial(ctx, p.zone)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("probing %s: %w", peer.ID, err))
+			continue
+		}
+		if last, ok := p.lastSerial[peer.ID]; ok && last == serial {
+			continue // unchanged since the last pull
+		}
+		_, rrs, err := peer.Client.Transfer(ctx, p.zone)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("transferring from %s: %w", peer.ID, err))
+			continue
+		}
+		p.transfers.Inc()
+		for _, rr := range rrs {
+			if rr.Name == MapName(p.zone) {
+				continue // map rotation is Serving's business
+			}
+			if !m.Owns(p.serving.ID(), rr.Name) {
+				continue // not our slice
+			}
+			if existing, _ := z.Lookup(rr.Name, rr.Type); hasEqual(existing, rr) {
+				continue // already here (an earlier pull, or a client retry)
+			}
+			if rcode, _, uerr := p.srv.Update(ctx, p.zone, bind.UpdateAdd, rr); uerr != nil {
+				errs = append(errs, fmt.Errorf("installing %s from %s: %s: %w",
+					rr.Name, peer.ID, rcode, uerr))
+				continue
+			}
+			installed++
+			p.pulled.Inc()
+		}
+		p.lastSerial[peer.ID] = serial
+	}
+	return installed, errors.Join(errs...)
+}
+
+// hasEqual reports whether rrs contains a record equal to rr (TTL
+// aside).
+func hasEqual(rrs []bind.RR, rr bind.RR) bool {
+	for _, e := range rrs {
+		if e.Equal(rr) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"hns/internal/bind"
+	"hns/internal/hrpc"
+)
+
+// peersOf builds the Puller peer list for shard i over the env's direct
+// clients.
+func (e *env) peersOf() []Peer {
+	var peers []Peer
+	for i, mem := range e.m.Members {
+		peers = append(peers, Peer{ID: mem.ID, Client: e.direct[i]})
+	}
+	return peers
+}
+
+// A shard joins: the survivors' records that now hash to the joiner are
+// pulled over the transfer path, while the old owners keep answering
+// queries for them throughout — the no-NXDOMAIN handoff invariant.
+func TestJoinPullsOwnedSliceWithoutNXDomainWindow(t *testing.T) {
+	e := newEnv(t, 3)
+	ctx := context.Background()
+
+	const names = 60
+	for i := 0; i < names; i++ {
+		name := fmt.Sprintf("ctx-%d.hns", i)
+		if _, err := e.client.Update(ctx, "hns", bind.UpdateAdd, metaRR(name, "v=1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Shard 3 joins at epoch 2 (same seed: only ~1/4 of names move, all
+	// onto the joiner).
+	joined := testMap(4, 2, 0)
+	srv := bind.NewServer("shard3", e.model)
+	z, err := bind.NewZone("hns", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	sv, err := Serve(srv, ServingConfig{ID: "s3", Zone: "hns", Map: joined, Metrics: e.reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, _, err := srv.ServeHRPC(e.net, joined.Members[3].Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	// The incumbents learn of the epoch bump too.
+	for _, old := range e.servings {
+		if err := old.SetMap(joined, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var moved []string
+	for i := 0; i < names; i++ {
+		name := fmt.Sprintf("ctx-%d.hns", i)
+		if owner, _ := joined.Owner(name); owner.ID == "s3" {
+			moved = append(moved, name)
+		}
+	}
+	if len(moved) == 0 {
+		t.Fatal("no names moved to the joiner")
+	}
+
+	// Mid-handoff: the joiner has nothing yet, but the OLD owners still
+	// answer every moved name (ownership gates updates, not queries).
+	for _, name := range moved {
+		rrs, err := e.client.Lookup(ctx, name, bind.TypeHNSMeta)
+		if err != nil || len(rrs) == 0 {
+			// The shard-aware client routes by the old cached map here;
+			// either way the name must resolve somewhere.
+			found := false
+			for _, old := range e.servers {
+				if rrs, _ := old.Zone("hns").Lookup(name, bind.TypeHNSMeta); len(rrs) > 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s unresolvable mid-handoff", name)
+			}
+		}
+	}
+
+	// The joiner pulls its slice.
+	p := NewPuller(sv, srv, e.peersOf(), e.reg)
+	n, err := p.Pull(ctx)
+	if err != nil {
+		t.Fatalf("pull: %v", err)
+	}
+	if n != len(moved) {
+		t.Fatalf("pull installed %d records, want %d", n, len(moved))
+	}
+	for _, name := range moved {
+		rrs, err := z.Lookup(name, bind.TypeHNSMeta)
+		if err != nil || len(rrs) != 1 || string(rrs[0].Data) != "v=1" {
+			t.Fatalf("joiner missing %s: %v, %v", name, rrs, err)
+		}
+	}
+	// Names that did NOT move were not copied.
+	if z.Count() != len(moved)+1 { // +1: the joiner's own map record
+		t.Fatalf("joiner has %d records, want %d", z.Count(), len(moved)+1)
+	}
+
+	// A second pull with unchanged peers is serial-gated: no transfers,
+	// nothing installed.
+	before := counterValue(e.reg, "shard_rebalance_transfers_total", "s3")
+	n, err = p.Pull(ctx)
+	if err != nil || n != 0 {
+		t.Fatalf("idle pull = %d, %v", n, err)
+	}
+	if after := counterValue(e.reg, "shard_rebalance_transfers_total", "s3"); after != before {
+		t.Fatalf("idle pull ran %d transfers", after-before)
+	}
+
+	// A peer change re-opens exactly that peer.
+	target := e.shardAtEpoch(joined, "ctx-poke.hns")
+	if target >= 0 && target < 3 {
+		if _, err := e.direct[target].Update(ctx, "hns", bind.UpdateAdd, metaRR("ctx-poke.hns", "v=1")); err == nil {
+			if _, err := p.Pull(ctx); err != nil {
+				t.Fatalf("pull after poke: %v", err)
+			}
+		}
+	}
+}
+
+// shardAtEpoch maps a name's owner under m to the env's server index,
+// -1 when the owner is outside the env (the joiner).
+func (e *env) shardAtEpoch(m Map, name string) int {
+	owner, ok := m.Owner(name)
+	if !ok {
+		return -1
+	}
+	for i := range e.servers {
+		if i < len(m.Members) && m.Members[i].ID == owner.ID {
+			return i
+		}
+	}
+	return -1
+}
+
+// A dead peer degrades a pull, not fails it: live peers are drained and
+// the error names the dead one for the next round.
+func TestPullSkipsDeadPeers(t *testing.T) {
+	e := newEnv(t, 2)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := e.client.Update(ctx, "hns", bind.UpdateAdd,
+			metaRR(fmt.Sprintf("ctx-%d.hns", i), "v=1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peers := e.peersOf()
+	peers = append(peers, Peer{
+		ID: "ghost",
+		Client: bind.NewHRPCClient(e.rpc,
+			hrpc.SuiteRaw.Bind("ghost", "ghost:bind-hrpc", bind.HRPCProgram, bind.HRPCVersion)),
+	})
+	// Pull into shard 0 (it owns what it owns; the point is error shape).
+	p := NewPuller(e.servings[0], e.servers[0], peers, e.reg)
+	_, err := p.Pull(ctx)
+	if err == nil {
+		t.Fatal("pull with a dead peer reported no error")
+	}
+}

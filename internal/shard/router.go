@@ -1,0 +1,198 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hns/internal/bind"
+	"hns/internal/hrpc"
+	"hns/internal/metrics"
+	"hns/internal/simtime"
+)
+
+// Bootstrap is a bind.Lookuper over an ordered list of shard clients:
+// the shard-map record lives on every shard, so fetching it tries each
+// endpoint in turn and fails over on unavailability. This is only the
+// map's own fetch path — data lookups route by ownership, never fan out.
+type Bootstrap struct {
+	clients []*bind.HRPCClient
+}
+
+// NewBootstrap builds the map-fetch fallback chain.
+func NewBootstrap(clients ...*bind.HRPCClient) *Bootstrap {
+	return &Bootstrap{clients: clients}
+}
+
+// Lookup implements bind.Lookuper with ordered failover.
+func (b *Bootstrap) Lookup(ctx context.Context, name string, t bind.RRType) ([]bind.RR, error) {
+	var lastErr error
+	for _, c := range b.clients {
+		rrs, err := c.Lookup(ctx, name, t)
+		if err == nil {
+			return rrs, nil
+		}
+		lastErr = err
+		// A live server that answered (NotFound, remote fault) settles
+		// the question; only unreachability moves to the next endpoint.
+		if !hrpc.Unavailable(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// RouterConfig configures NewRouter.
+type RouterConfig struct {
+	// Zone is the sharded zone (default "hns").
+	Zone string
+	// Clock drives map-cache TTL expiry; default real time.
+	Clock simtime.Clock
+	// StaleFor lets the router keep routing from an expired map while
+	// every shard is unreachable (serve-stale on the map record).
+	StaleFor time.Duration
+	// Metrics instruments the map cache (cache_*{cache="shardmap"}) and
+	// the router's refresh counter. Nil uses metrics.Default().
+	Metrics *metrics.Registry
+}
+
+// Router resolves names to owning shards. It caches the shard-map
+// record through a dedicated bind.Resolver, so map fetches get the same
+// treatment as any meta lookup: TTL expiry, singleflight coalescing of
+// concurrent misses, and (optionally) serve-stale. A decoded Map is
+// memoized per payload, so warm routing never re-parses.
+type Router struct {
+	zone    string
+	mapName string
+	boot    bind.Lookuper
+	res     *bind.Resolver
+
+	// cur memoizes the last decode keyed by the raw payload.
+	cur atomic.Pointer[decodedMap]
+
+	// refreshMu serializes forced refreshes (the NOTOWNER path): the
+	// first caller invalidates and refetches, everyone behind it
+	// short-circuits on the epoch check — an epoch bump under 10k
+	// callers costs one backend fetch, not a stampede.
+	refreshMu sync.Mutex
+
+	refreshes *metrics.Counter // shard_map_refresh_total
+}
+
+// NewRouter builds a router fetching the shard map through boot
+// (typically a *Bootstrap over the configured shard endpoints).
+func NewRouter(boot bind.Lookuper, model *simtime.Model, cfg RouterConfig) *Router {
+	zone := cfg.Zone
+	if zone == "" {
+		zone = "hns"
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	r := &Router{
+		zone:    zone,
+		mapName: MapName(zone),
+		boot:    boot,
+		res: bind.NewResolver(boot, model, bind.ResolverConfig{
+			Clock:     cfg.Clock,
+			Metrics:   reg,
+			CacheName: "shardmap",
+			StaleFor:  cfg.StaleFor,
+		}),
+		refreshes: reg.Counter("shard_map_refresh_total"),
+	}
+	return r
+}
+
+// decodedMap pairs a payload with its parse, so routing a warm map costs
+// one pointer load and a string compare.
+type decodedMap struct {
+	payload string
+	m       Map
+}
+
+// Zone reports the sharded zone.
+func (r *Router) Zone() string { return r.zone }
+
+// Map returns the current shard map, fetching (or re-fetching, on TTL
+// expiry) the map record through the resolver cache.
+func (r *Router) Map(ctx context.Context) (Map, error) {
+	rrs, err := r.res.Lookup(ctx, r.mapName, bind.TypeHNSMeta)
+	if err != nil {
+		// Unreachable shards with a previously decoded map: keep routing
+		// on the last known assignment rather than failing every call —
+		// the per-endpoint breakers below us handle the dead members.
+		if cur := r.cur.Load(); cur != nil && hrpc.Unavailable(err) {
+			return cur.m, nil
+		}
+		return Map{}, err
+	}
+	if len(rrs) == 0 {
+		return Map{}, &bind.NotFoundError{Name: r.mapName, Type: bind.TypeHNSMeta, RCode: bind.RCodeNXDomain}
+	}
+	payload := string(rrs[0].Data)
+	if cur := r.cur.Load(); cur != nil && cur.payload == payload {
+		return cur.m, nil
+	}
+	m, err := FromRecords(rrs)
+	if err != nil {
+		return Map{}, err
+	}
+	// Never step backwards: a stale replica answering with an older
+	// epoch must not displace a newer map already seen.
+	for {
+		cur := r.cur.Load()
+		if cur != nil && cur.m.Epoch > m.Epoch {
+			return cur.m, nil
+		}
+		if r.cur.CompareAndSwap(cur, &decodedMap{payload: payload, m: m}) {
+			return m, nil
+		}
+	}
+}
+
+// Owner routes name to its owning member under the current map.
+func (r *Router) Owner(ctx context.Context, name string) (Member, error) {
+	m, err := r.Map(ctx)
+	if err != nil {
+		return Member{}, err
+	}
+	owner, ok := m.Owner(name)
+	if !ok {
+		return Member{}, &bind.NotFoundError{Name: r.mapName, Type: bind.TypeHNSMeta, RCode: bind.RCodeNXDomain}
+	}
+	return owner, nil
+}
+
+// Refresh forces a map refetch after a NOTOWNER redirect told us our
+// view (staleEpoch) is behind. Callers that lost the race to a
+// completed refresh return the already-updated map without touching the
+// backend; the winner invalidates the cached record and refetches —
+// through the resolver's singleflight path — exactly once.
+func (r *Router) Refresh(ctx context.Context, staleEpoch uint32) (Map, error) {
+	r.refreshMu.Lock()
+	defer r.refreshMu.Unlock()
+	if cur := r.cur.Load(); cur != nil && cur.m.Epoch > staleEpoch {
+		return cur.m, nil
+	}
+	r.refreshes.Inc()
+	r.res.Invalidate(r.mapName, bind.TypeHNSMeta)
+	return r.Map(ctx)
+}
+
+// Current returns the last decoded map without any fetch; ok is false
+// before the first successful Map call.
+func (r *Router) Current() (Map, bool) {
+	if cur := r.cur.Load(); cur != nil {
+		return cur.m, true
+	}
+	return Map{}, false
+}
+
+// Seed installs a map directly (flag-configured daemons and tests);
+// later fetches still supersede it by epoch.
+func (r *Router) Seed(m Map) {
+	r.cur.Store(&decodedMap{payload: m.Encode(), m: m})
+}

@@ -1,0 +1,203 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hns/internal/bind"
+	"hns/internal/hrpc"
+	"hns/internal/metrics"
+	"hns/internal/simtime"
+)
+
+// countingBackend serves a single shard-map record and counts fetches.
+type countingBackend struct {
+	mu      sync.Mutex
+	m       Map
+	fetches atomic.Int64
+}
+
+func (b *countingBackend) set(m Map) {
+	b.mu.Lock()
+	b.m = m
+	b.mu.Unlock()
+}
+
+func (b *countingBackend) Lookup(ctx context.Context, name string, t bind.RRType) ([]bind.RR, error) {
+	b.fetches.Add(1)
+	b.mu.Lock()
+	m := b.m
+	b.mu.Unlock()
+	if name != MapName("hns") || t != bind.TypeHNSMeta {
+		return nil, &bind.NotFoundError{Name: name, Type: t, RCode: bind.RCodeNXDomain}
+	}
+	rr, err := Record(m, "hns", 600)
+	if err != nil {
+		return nil, err
+	}
+	return []bind.RR{rr}, nil
+}
+
+func newTestRouter(t *testing.T, b *countingBackend) (*Router, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	return NewRouter(b, simtime.Default(), RouterConfig{Metrics: reg}), reg
+}
+
+func TestRouterCachesMap(t *testing.T) {
+	b := &countingBackend{}
+	b.set(testMap(4, 1, 0))
+	r, _ := newTestRouter(t, b)
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if _, err := r.Owner(ctx, fmt.Sprintf("n%d.hns", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.fetches.Load(); got != 1 {
+		t.Fatalf("100 warm routes cost %d backend fetches, want 1", got)
+	}
+}
+
+// The satellite-6 regression: a map-epoch bump under heavy concurrency
+// must coalesce into ONE backend refetch, not a stampede. Every caller
+// learned (via a NOTOWNER redirect) that epoch 1 is stale and calls
+// Refresh; the winner invalidates and refetches through the resolver's
+// singleflight path, the rest short-circuit on the already-refreshed
+// epoch. Companion to the PR 2 resolver stampede tests.
+func TestRefreshStampedeCoalesces(t *testing.T) {
+	b := &countingBackend{}
+	b.set(testMap(4, 1, 0))
+	r, reg := newTestRouter(t, b)
+	ctx := context.Background()
+
+	// Warm the cache at epoch 1, then bump the backend to epoch 2.
+	if _, err := r.Map(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b.set(testMap(4, 2, 1))
+	warmFetches := b.fetches.Load()
+
+	const callers = 10000
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			m, err := r.Refresh(ctx, 1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if m.Epoch != 2 {
+				errs <- fmt.Errorf("refreshed to epoch %d, want 2", m.Epoch)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := b.fetches.Load() - warmFetches; got != 1 {
+		t.Fatalf("%d concurrent Refresh callers cost %d backend fetches, want 1", callers, got)
+	}
+	if got := reg.Counter("shard_map_refresh_total").Value(); got != 1 {
+		t.Fatalf("shard_map_refresh_total = %d, want 1", got)
+	}
+}
+
+// A stale replica answering with an older epoch must not displace a
+// newer map already routed on.
+func TestRouterNeverStepsBackwards(t *testing.T) {
+	b := &countingBackend{}
+	b.set(testMap(4, 5, 0))
+	r, _ := newTestRouter(t, b)
+	ctx := context.Background()
+	if m, err := r.Map(ctx); err != nil || m.Epoch != 5 {
+		t.Fatalf("Map = %+v, %v", m, err)
+	}
+	// The backend regresses (a lagging shard); a forced refetch must keep
+	// epoch 5.
+	b.set(testMap(4, 3, 0))
+	r.res.Invalidate(MapName("hns"), bind.TypeHNSMeta)
+	if m, err := r.Map(ctx); err != nil || m.Epoch != 5 {
+		t.Fatalf("after regression Map = %+v, %v (want epoch 5 kept)", m, err)
+	}
+}
+
+// Refresh against an already-advanced cache is free: no invalidation,
+// no fetch.
+func TestRefreshShortCircuitsOnNewerEpoch(t *testing.T) {
+	b := &countingBackend{}
+	b.set(testMap(4, 7, 0))
+	r, reg := newTestRouter(t, b)
+	ctx := context.Background()
+	if _, err := r.Map(ctx); err != nil {
+		t.Fatal(err)
+	}
+	before := b.fetches.Load()
+	m, err := r.Refresh(ctx, 3) // stale view far behind the cache
+	if err != nil || m.Epoch != 7 {
+		t.Fatalf("Refresh = %+v, %v", m, err)
+	}
+	if got := b.fetches.Load(); got != before {
+		t.Fatalf("short-circuited Refresh fetched (%d → %d)", before, got)
+	}
+	if got := reg.Counter("shard_map_refresh_total").Value(); got != 0 {
+		t.Fatalf("shard_map_refresh_total = %d, want 0", got)
+	}
+}
+
+func TestRouterSeedAndCurrent(t *testing.T) {
+	b := &countingBackend{}
+	r, _ := newTestRouter(t, b)
+	if _, ok := r.Current(); ok {
+		t.Fatal("Current before any map")
+	}
+	m := testMap(2, 4, 9)
+	r.Seed(m)
+	got, ok := r.Current()
+	if !ok || got.Epoch != 4 {
+		t.Fatalf("Current = %+v, %v", got, ok)
+	}
+	if owner, err := r.Owner(context.Background(), "x.hns"); err == nil {
+		_ = owner // a fetch may supersede the seed; either is fine here
+	}
+}
+
+// Bootstrap failover: the map record is fetched from the first live
+// endpoint; an authoritative answer stops the chain.
+func TestBootstrapFailover(t *testing.T) {
+	e := newEnv(t, 3)
+	ctx := context.Background()
+
+	// All up: first endpoint answers.
+	boot := NewBootstrap(e.direct...)
+	rrs, err := boot.Lookup(ctx, MapName("hns"), bind.TypeHNSMeta)
+	if err != nil || len(rrs) == 0 {
+		t.Fatalf("bootstrap lookup = %v, %v", rrs, err)
+	}
+
+	// First endpoint dead (nothing listens there): the chain fails over.
+	dead := bind.NewHRPCClient(e.rpc,
+		hrpc.SuiteRaw.Bind("nowhere", "nowhere:bind-hrpc", bind.HRPCProgram, bind.HRPCVersion))
+	boot = NewBootstrap(append([]*bind.HRPCClient{dead}, e.direct...)...)
+	rrs, err = boot.Lookup(ctx, MapName("hns"), bind.TypeHNSMeta)
+	if err != nil || len(rrs) == 0 {
+		t.Fatalf("bootstrap lookup with dead head = %v, %v", rrs, err)
+	}
+
+	// An authoritative NXDOMAIN from a live shard settles the question —
+	// no pointless walk down the rest of the chain.
+	if _, err := boot.Lookup(ctx, "absent.hns", bind.TypeHNSMeta); err == nil {
+		t.Fatal("lookup of absent name succeeded")
+	}
+}

@@ -172,6 +172,11 @@ type FleetSpec struct {
 	// admission-controlled hnsgw (the optional fourth tier). Nil — the
 	// default — changes nothing.
 	Gateway *GatewayTier
+	// MetaShards, when > 0, replaces the single authoritative meta bindd
+	// with that many bindd shards partitioning the meta zone by
+	// rendezvous hash; every site's hnsd then routes meta traffic to the
+	// owning shard. 0 — the default — is the unsharded fleet, unchanged.
+	MetaShards int
 }
 
 func (s FleetSpec) base() Spec {
@@ -200,6 +205,10 @@ func (s FleetSpec) Validate() error {
 		return fmt.Errorf("workload: diurnal slot step must be >= 0")
 	case s.Workers < 0:
 		return fmt.Errorf("workload: workers must be >= 0")
+	case s.MetaShards < 0:
+		return fmt.Errorf("workload: meta shards must be >= 0")
+	case s.MetaShards > 64:
+		return fmt.Errorf("workload: at most 64 meta shards")
 	}
 	if g := s.Gateway; g != nil {
 		switch {
@@ -329,6 +338,11 @@ type FleetHooks struct {
 	// Remap rewrites an op's context index per slot (popularity
 	// inversion). It must be pure.
 	Remap func(ctxIdx, slot int) int
+	// WarmSite runs once per site after standup, before any slot — cache
+	// pre-warming for scenarios whose fault story assumes a warm fleet
+	// (serve-stale needs something stale to serve). Must be
+	// deterministic; its cost is not measured.
+	WarmSite func(ctx context.Context, site int, finder core.Finder) error
 	// Close releases scenario resources the world doesn't own.
 	Close func()
 }
@@ -416,6 +430,7 @@ type fleetEnv struct {
 	slots     int
 	listeners []transport.Listener
 	gwClients []*hrpc.Client // per-site gateway upstream pools
+	shards    *fleetShards   // non-nil iff MetaShards > 0
 }
 
 func (e *fleetEnv) Close() {
@@ -427,6 +442,9 @@ func (e *fleetEnv) Close() {
 	}
 	for _, c := range e.gwClients {
 		c.Close()
+	}
+	if e.shards != nil {
+		e.shards.Close()
 	}
 	e.w.Close()
 }
@@ -461,13 +479,31 @@ func buildFleet(ctx context.Context, spec FleetSpec, setup FleetSetup) (*fleetEn
 		e.hooks = h
 	}
 
+	// The sharded authoritative tier stands up after registration (the
+	// synthetic contexts above) so each shard seeds with exactly its
+	// slice of the final meta zone.
+	if spec.MetaShards > 0 {
+		fs, err := buildFleetShards(ctx, w, spec.MetaShards, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		e.shards = fs
+	}
+
 	topo := colocate.Topology(spec.Sites, spec.Clients, spec.Seed)
 	for _, site := range topo {
 		reg := metrics.NewRegistry()
 		var h *core.HNS
-		if e.hooks.NewSiteHNS != nil {
+		switch {
+		case e.hooks.NewSiteHNS != nil:
 			h = e.hooks.NewSiteHNS(reg)
-		} else {
+		case e.shards != nil:
+			sh, err := newShardSiteHNS(w, clk, e.shards.m.Members, reg, ShardSiteOptions{})
+			if err != nil {
+				return nil, err
+			}
+			h = sh
+		default:
 			h = w.NewHNS(core.Config{CacheMode: bind.CacheMarshalled, Metrics: reg})
 		}
 		st := siteState{site: site, h: h, finder: h, reg: reg}
@@ -487,6 +523,14 @@ func buildFleet(ctx context.Context, spec FleetSpec, setup FleetSetup) (*fleetEn
 			st.finder = core.NewRemoteHNS(w.RPC, b)
 		}
 		e.sites = append(e.sites, st)
+	}
+
+	if e.hooks.WarmSite != nil {
+		for i := range e.sites {
+			if err := e.hooks.WarmSite(ctx, i, e.sites[i].finder); err != nil {
+				return nil, fmt.Errorf("workload: warming site %d: %w", i, err)
+			}
+		}
 	}
 
 	cum := slotCum(spec.Diurnal)

@@ -265,9 +265,15 @@ func TestRunConcurrentMatchesRun(t *testing.T) {
 }
 
 // TestRunConcurrentRepeatable: two concurrent runs with the same Spec
-// produce identical aggregate op counts and simulated totals even for the
-// shared placement — interleaving may shift which client's miss warms the
-// cache, but never how many ops execute.
+// produce identical aggregate op counts even for the shared placement —
+// interleaving may shift which client's miss warms the cache, but never
+// how many ops execute. Exact sim totals are NOT asserted here: each
+// RunConcurrent builds a fresh shared meta-cache, so whether an op lands
+// as the leader of a cold miss, a coalesced waiter (charged the replayed
+// miss cost), or a later hit depends on goroutine interleaving once
+// GOMAXPROCS > 1. The cost-determinism contract lives in
+// TestRunConcurrentMatchesRun, whose LocalHNS placement has no shared
+// state for the schedule to race on.
 func TestRunConcurrentRepeatable(t *testing.T) {
 	w := newWorkloadWorld(t, 6)
 	spec := workload.Spec{Clients: 8, OpsPerClient: 24, Contexts: 6, Skew: 1.3, Seed: 7}
@@ -290,9 +296,7 @@ func TestRunConcurrentRepeatable(t *testing.T) {
 	if a.Ops != spec.Clients*spec.OpsPerClient {
 		t.Fatalf("ops = %d, want %d", a.Ops, spec.Clients*spec.OpsPerClient)
 	}
-	// With a fully warm shared cache every op is a hit, so even the
-	// schedule-dependent aggregates settle: sim totals must match too.
-	if a.TotalCost != b.TotalCost {
-		t.Fatalf("total sim cost differs across identical specs: %v vs %v", a.TotalCost, b.TotalCost)
+	if a.TotalCost <= 0 || b.TotalCost <= 0 {
+		t.Fatalf("sim totals not accounted: %v vs %v", a.TotalCost, b.TotalCost)
 	}
 }
