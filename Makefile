@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench bench-parallel bench-alloc bench-scale bench-batch bench-durable bench-shard fuzz smoke chaos examples harness regen outputs
+.PHONY: all build vet test race bench bench-parallel bench-alloc bench-scale bench-batch bench-durable bench-shard bench-push fuzz smoke chaos examples harness regen outputs
 
 all: build vet test
 
@@ -52,6 +52,12 @@ bench-durable:
 bench-shard:
 	go run ./cmd/hnsbench -prose shard
 
+# The push-invalidation experiment: authority fetches and NOTIFY
+# propagation at 1k/10k/100k clients, push vs TTL-poll, plus the IXFR
+# byte comparison, written to BENCH_push.json.
+bench-push:
+	go run ./cmd/hnsbench -prose push
+
 # Short exploratory fuzzing over every wire codec.
 fuzz:
 	go test -fuzz FuzzDecodeMessage -fuzztime 15s ./internal/bind/
@@ -66,6 +72,8 @@ fuzz:
 	go test -fuzz FuzzWALDecode -fuzztime 10s ./internal/store/
 	go test -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/store/
 	go test -fuzz FuzzShardMapDecode -fuzztime 10s ./internal/shard/
+	go test -fuzz FuzzIXFRDecode -fuzztime 10s ./internal/bind/
+	go test -fuzz FuzzNotifyDecode -fuzztime 10s ./internal/push/
 
 # Multi-process deployment over real sockets.
 smoke:

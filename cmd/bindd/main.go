@@ -59,6 +59,7 @@ import (
 	"hns/internal/bind"
 	"hns/internal/hrpc"
 	"hns/internal/metrics"
+	"hns/internal/push"
 	"hns/internal/shard"
 	"hns/internal/simtime"
 	"hns/internal/store"
@@ -98,6 +99,10 @@ func main() {
 	)
 	flag.Var(&zones, "zone", "zone origin to be authoritative for (repeatable)")
 	mux := flag.Bool("mux", true, "dial multiplexed connections (tagged frames, many in-flight calls per socket); disable to speak the legacy serialized framing to pre-mux peers")
+	pushOn := flag.Bool("push", false, "enable the push plane: clients may Subscribe and every dynamic update fans out NOTIFY invalidations")
+	pushMax := flag.Int("push-max", 0, "bound the subscriber table (0 = default 4096); overflow subscribers are refused and poll")
+	ixfrWindow := flag.Int("ixfr-window", 0, "retain this many recent zone mutations for incremental (IXFR) transfer; 0 disables (every transfer full)")
+	notify := flag.Bool("notify", false, "-secondary mode: subscribe to the primary's NOTIFY stream and refresh immediately on serial bumps (falls back to -refresh polling)")
 	flag.Parse()
 	if len(zones) == 0 {
 		log.Fatal("bindd: at least one -zone is required")
@@ -198,22 +203,59 @@ func main() {
 		}
 		stop := make(chan struct{})
 		defer close(stop)
+		kick := make(chan struct{}, 1)
+		if *notify {
+			// NOTIFY-driven refresh: the primary pushes a serial bump the
+			// moment an update lands, and the mirror pulls the diff right
+			// away instead of waiting out the ticker. The ticker stays as
+			// the backstop — push narrows the lag, polling bounds it.
+			sub := primary.Subscribe(bind.SubscribeConfig{
+				Zone: zones[0],
+				OnNotify: func(push.Notification) {
+					select {
+					case kick <- struct{}{}:
+					default:
+					}
+				},
+				OnReset: func() {
+					select {
+					case kick <- struct{}{}:
+					default:
+					}
+				},
+			})
+			defer sub.Close()
+			log.Printf("bindd: subscribed to NOTIFY from %s (-refresh %s remains the backstop)",
+				*secAddr, *refresh)
+		}
 		go func() {
 			ticker := time.NewTicker(*refresh)
 			defer ticker.Stop()
+			refreshOnce := func() {
+				moved, err := sec.Refresh(context.Background())
+				if err != nil {
+					log.Printf("bindd: refresh: %v", err)
+				} else if moved {
+					// Transfers load the zone directly, below the
+					// server's update hooks — drop cached replies so
+					// the new contents are visible immediately.
+					srv.InvalidateReplies()
+					if tab := srv.PushTable(); tab != nil {
+						// Our own subscribers learn of the refresh as a
+						// zone-level event (the exact change set is not
+						// re-derived here).
+						tab.Publish(push.Notification{Zone: srv.Zone(zones[0]).Origin(), Serial: sec.Serial()})
+					}
+					log.Printf("bindd: transferred %s at serial %d (%d incremental refreshes so far)",
+						zones[0], sec.Serial(), sec.DeltaRefreshes())
+				}
+			}
 			for {
 				select {
 				case <-ticker.C:
-					moved, err := sec.Refresh(context.Background())
-					if err != nil {
-						log.Printf("bindd: refresh: %v", err)
-					} else if moved {
-						// Transfers load the zone directly, below the
-						// server's update hooks — drop cached replies so
-						// the new contents are visible immediately.
-						srv.InvalidateReplies()
-						log.Printf("bindd: transferred %s at serial %d", zones[0], sec.Serial())
-					}
+					refreshOnce()
+				case <-kick:
+					refreshOnce()
 				case <-stop:
 					return
 				}
@@ -332,6 +374,22 @@ func main() {
 				}
 			}()
 		}
+	}
+
+	if *notify && *secAddr == "" {
+		log.Fatal("bindd: -notify requires -secondary (only mirrors subscribe to a primary)")
+	}
+	if *ixfrWindow > 0 {
+		for _, origin := range zones {
+			if z := srv.Zone(origin); z != nil {
+				z.EnableDiffLog(*ixfrWindow)
+			}
+		}
+		log.Printf("bindd: retaining a %d-mutation diff window per zone for incremental transfer", *ixfrWindow)
+	}
+	if *pushOn {
+		srv.EnablePush(*pushMax)
+		log.Printf("bindd: push plane enabled (NOTIFY fan-out on update; clients may subscribe)")
 	}
 
 	hrpcLn, binding, err := hrpc.Serve(net, srv.HRPCServer(), hrpc.SuiteRawNet, *host, *hrpcAddr)

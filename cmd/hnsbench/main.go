@@ -120,12 +120,13 @@ func main() {
 		"batch":         printBatch,
 		"durable":       printDurable,
 		"shard":         printShard,
+		"push":          printPush,
 	}
 	if *all {
 		for _, name := range []string{"findnsm", "nsmcall", "underlying", "baselines",
 			"preload", "breakeven", "marshalling", "nsmsize", "scaling", "consistency",
 			"hitratios", "broadcast", "throughput", "availability", "replycache",
-			"muxthroughput", "scale", "batch", "durable", "shard"} {
+			"muxthroughput", "scale", "batch", "durable", "shard", "push"} {
 			run("prose "+name, proseRunners[name])
 		}
 	} else if *prose != "" {

@@ -654,3 +654,48 @@ func printShard(ctx context.Context, _ *world.World) error {
 	fmt.Printf("wrote %s\n", shardBenchFile)
 	return nil
 }
+
+// pushBenchFile is where printPush records the push-invalidation
+// measurements for EXPERIMENTS.md.
+const pushBenchFile = "BENCH_push.json"
+
+func printPush(ctx context.Context, _ *world.World) error {
+	spec := experiments.DefaultPushSpec()
+	res, err := experiments.RunPush(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Push invalidation: NOTIFY fan-out vs TTL polling under sustained churn")
+	fmt.Printf("%d hot names, working set %d per client, %d churned per %ds poll interval,\n",
+		spec.Names, spec.WorkingSet, spec.ChurnPerRound, spec.PollIntervalSec)
+	fmt.Printf("%d intervals per arm (equal-freshness fetch ratio = names/churn = %dx).\n",
+		spec.Rounds, spec.Names/spec.ChurnPerRound)
+	fmt.Println()
+	fmt.Println("authority fetches (deterministic; bar: >= 10x at 10k clients):")
+	for _, r := range res.Rows {
+		fmt.Printf("  %7d clients   poll %9d   push %8d   %6.1fx   notify p50/p99 %.2f/%.2f ms (interval %gms)\n",
+			r.Clients, r.PollFetches, r.PushFetches, r.FetchRatio,
+			r.PropagationP50Ms, r.PropagationP99Ms, r.PollIntervalMs)
+	}
+	fmt.Println()
+	ix := res.IXFR
+	fmt.Printf("incremental transfer:    %d-record zone, %d mutations missed\n", ix.ZoneRecords, ix.DeltaRecords)
+	fmt.Printf("  full %d bytes vs delta %d bytes (%.1fx); out-of-window fallback to full: %v\n",
+		ix.FullBytes, ix.DeltaBytes, ix.BytesRatio, ix.FallbackFull)
+	fmt.Println()
+	fmt.Println("shape: polling re-fetches the whole working set every interval to bound")
+	fmt.Println("staleness; a subscriber re-fetches only what the NOTIFY names, so the ratio")
+	fmt.Println("is set by churn, not fleet size, and the staleness window shrinks from one")
+	fmt.Println("poll interval to the fan-out tail. IXFR prices catch-up by what changed.")
+
+	doc := experiments.BuildPushDoc(spec, res)
+	buf, err := experiments.EncodePushDoc(doc)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(pushBenchFile, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", pushBenchFile)
+	return nil
+}

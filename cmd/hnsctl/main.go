@@ -11,6 +11,7 @@
 //	hnsctl register-nsm     -meta 127.0.0.1:5301 -name N -ns NS -qclass QC \
 //	                        -nsm-host H -hostctx C -port P -suite t,d,c
 //	hnsctl dump    -meta 127.0.0.1:5301
+//	hnsctl watch   -meta 127.0.0.1:5301 [-zone hns] [<zone>|<name>...]
 //	hnsctl stats   -from 127.0.0.1:5390 [-filter substr]
 //	hnsctl shard   -meta 127.0.0.1:5301 -from 127.0.0.1:5390 [-from ...]
 //	hnsctl health  -from 127.0.0.1:5390
@@ -73,6 +74,8 @@ func main() {
 		err = cmdUnregister(env, args, "nsm")
 	case "dump":
 		err = cmdDump(env, args)
+	case "watch":
+		err = cmdWatch(env, args)
 	case "stats":
 		err = cmdStats(args)
 	case "store":
@@ -93,7 +96,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump|stats|store|shard|health|admit} [flags] args...")
+	fmt.Fprintln(os.Stderr, "usage: hnsctl {find|resolve|lookup|register-ns|register-context|register-nsm|unregister-context|unregister-nsm|dump|watch|stats|store|shard|health|admit} [flags] args...")
 	os.Exit(2)
 }
 

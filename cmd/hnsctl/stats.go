@@ -47,6 +47,23 @@ func cmdStats(args []string) error {
 		printed++
 	}
 
+	// The push plane's subscriber table, summarized up front when the
+	// daemon has one (bindd -push): the raw push_* series still appear in
+	// the sections below.
+	if v, ok := lookup(snap.Gauges, "push_subscribers"); ok && match("push_subscribers") {
+		section("push plane:")
+		row := func(label, name string, ss []metrics.Series) {
+			n, _ := lookup(ss, name)
+			fmt.Printf("  %-60s %d\n", label, n)
+		}
+		fmt.Printf("  %-60s %d\n", "subscribers now", v)
+		row("subscriptions accepted", "push_subscribe_total", snap.Counters)
+		row("subscriptions rejected (table full)", "push_subscribe_rejected_total", snap.Counters)
+		row("notifies sent", "push_notify_sent_total", snap.Counters)
+		row("notifies dropped (slow subscribers)", "push_notify_dropped_total", snap.Counters)
+		row("subscriber connections dropped", "push_conn_drops_total", snap.Counters)
+	}
+
 	if any(snap.Counters, match) {
 		section("counters:")
 		for _, c := range snap.Counters {
@@ -79,6 +96,15 @@ func cmdStats(args []string) error {
 		fmt.Println("no series matched")
 	}
 	return nil
+}
+
+func lookup(ss []metrics.Series, name string) (int64, bool) {
+	for _, s := range ss {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
 }
 
 func any(ss []metrics.Series, match func(string) bool) bool {

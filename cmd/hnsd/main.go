@@ -59,6 +59,7 @@ func main() {
 		refrAhead  = flag.Float64("refresh-ahead", 0, "refresh meta-cache entries asynchronously once their remaining TTL falls to this fraction of the original (0 disables; try 0.2)")
 		bindTTL    = flag.Duration("binding-cache", 0, "memoize fully resolved FindNSM bindings for this long (0 disables; layered above the meta-cache)")
 		mux        = flag.Bool("mux", true, "dial multiplexed connections (tagged frames, many in-flight calls per socket); disable to speak the legacy serialized framing to pre-mux peers")
+		subscribe  = flag.Bool("subscribe", false, "subscribe to the meta-BIND's push plane: updates invalidate the meta-cache immediately instead of waiting out TTLs (degrades to polling against old peers)")
 		connIdle   = flag.Duration("conn-idle", 0, "close pooled HRPC connections idle for this long (0 keeps them until shutdown)")
 		metaShards = flag.String("meta-shards", "", "sharded meta-store as id=addr,... ; replaces -meta/-meta-replica with owner-routed shard access")
 		linkBind   stringList
@@ -155,6 +156,17 @@ func main() {
 		ch := clearinghouse.NewClient(rpc, chB, clearinghouse.NewCredentials(parts[1], parts[2]))
 		h.LinkHostResolver(ns, nsm.NewCHHostAddr("hostaddr-"+ns, ns, ch, model, nsm.Options{}))
 		log.Printf("hnsd: linked Clearinghouse HostAddress NSM for %s at %s", ns, parts[0])
+	}
+
+	if *subscribe {
+		if h.SubscribeMeta() {
+			defer h.UnsubscribeMeta()
+			log.Printf("hnsd: subscribed to push invalidation for zone %q", *metaZone)
+		} else {
+			// The sharded client has no single subscription endpoint yet;
+			// TTL polling carries the freshness contract as before.
+			log.Printf("hnsd: -subscribe: meta client cannot subscribe; staying on TTL polling")
+		}
 	}
 
 	if *preload {

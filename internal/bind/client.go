@@ -301,6 +301,10 @@ type HRPCClient struct {
 	// unavailable: later LookupBatch calls fan out as singles without
 	// re-probing (see batch.go).
 	noBatch atomic.Bool
+	// noIxfr latches likewise for the incremental-transfer procedure:
+	// against an old server every refresh goes straight to the full
+	// Transfer (see subscribe.go).
+	noIxfr atomic.Bool
 }
 
 // NewHRPCClient creates a client for the BIND HRPC interface bound at b.
@@ -463,6 +467,12 @@ type Resolver struct {
 	// refreshes counts launched background refreshes
 	// (cache_refresh_ahead_total{cache=...}); nil when uninstrumented.
 	refreshes *metrics.Counter
+	// pushActive, when set and returning true, reports that a live push
+	// subscription covers this resolver's entries: the server notifies us
+	// of every change, so timer-driven refresh-ahead would only re-fetch
+	// data push already keeps fresh. Refresh-ahead resumes the moment the
+	// subscription drops (fn returns false).
+	pushActive atomic.Pointer[func() bool]
 }
 
 // ResolverConfig configures NewResolver.
@@ -656,6 +666,11 @@ func (r *Resolver) maybeRefreshAhead(key, cname string, t RRType, remaining, ori
 	if r.refreshAhead <= 0 || original <= 0 {
 		return
 	}
+	if fn := r.pushActive.Load(); fn != nil && (*fn)() {
+		// A live push subscription already keeps these entries fresh;
+		// refreshing on a timer too would double-fetch every hot name.
+		return
+	}
 	if remaining > time.Duration(float64(original)*r.refreshAhead) {
 		return
 	}
@@ -672,6 +687,19 @@ func (r *Resolver) maybeRefreshAhead(key, cname string, t RRType, remaining, ori
 		}
 		r.cache.Put(key, copyRRs(rrs), time.Duration(MinTTL(rrs))*time.Second)
 	}()
+}
+
+// SetPushCovered suppresses refresh-ahead while fn reports a live push
+// subscription covering this resolver (typically Subscriber.Active).
+// Push and refresh-ahead are complementary freshness mechanisms; this
+// keeps them from both fetching the same entry — push wins while it
+// flows, the timer takes over when it doesn't.
+func (r *Resolver) SetPushCovered(fn func() bool) {
+	if fn == nil {
+		r.pushActive.Store(nil)
+		return
+	}
+	r.pushActive.Store(&fn)
 }
 
 // staleLookup is the serve-stale fallback: when a backend lookup failed

@@ -1,0 +1,651 @@
+package bind
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hns/internal/hrpc"
+	"hns/internal/marshal"
+	"hns/internal/metrics"
+	"hns/internal/push"
+	"hns/internal/simtime"
+	"hns/internal/transport"
+)
+
+// ---- Zone diff log.
+
+func TestDiffLogBasics(t *testing.T) {
+	z, _ := NewZone("d.test", true)
+	z.EnableDiffLog(64)
+	base := z.Serial()
+	if err := z.Add(A("a.d.test", "1", 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Add(A("b.d.test", "2", 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Remove(RR{Name: "a.d.test", Type: TypeA}); err != nil {
+		t.Fatal(err)
+	}
+
+	diffs, ok := z.DiffSince(base)
+	if !ok || len(diffs) != 3 {
+		t.Fatalf("DiffSince(base) = %d recs, ok=%v; want 3, true", len(diffs), ok)
+	}
+	if diffs[0].Op != UpdateAdd || diffs[0].RR.Name != "a.d.test" {
+		t.Fatalf("first diff = %+v", diffs[0])
+	}
+	if diffs[2].Op != UpdateRemove {
+		t.Fatalf("third diff op = %d, want remove", diffs[2].Op)
+	}
+	for i := 1; i < len(diffs); i++ {
+		if diffs[i].Serial <= diffs[i-1].Serial {
+			t.Fatalf("serials not increasing: %d then %d", diffs[i-1].Serial, diffs[i].Serial)
+		}
+	}
+	// An up-to-date peer gets an empty-but-ok answer.
+	if d, ok := z.DiffSince(z.Serial()); !ok || len(d) != 0 {
+		t.Fatalf("DiffSince(current) = %d, ok=%v", len(d), ok)
+	}
+	// A peer from the future is refused.
+	if _, ok := z.DiffSince(z.Serial() + 1); ok {
+		t.Fatal("DiffSince accepted a future serial")
+	}
+	// Partial range: only the tail.
+	mid := diffs[0].Serial
+	tail, ok := z.DiffSince(mid)
+	if !ok || len(tail) != 2 {
+		t.Fatalf("DiffSince(mid) = %d recs, ok=%v; want 2, true", len(tail), ok)
+	}
+}
+
+func TestDiffLogWindowAndResets(t *testing.T) {
+	z, _ := NewZone("d.test", true)
+	z.EnableDiffLog(4)
+	base := z.Serial()
+	for i := 0; i < 20; i++ {
+		if err := z.Add(A(fmt.Sprintf("n%d.d.test", i), "1", 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The retained log is bounded (2× window at most) and an old peer is
+	// pushed to a full transfer.
+	if len(z.diff) > 8 {
+		t.Fatalf("diff log grew to %d entries with window 4", len(z.diff))
+	}
+	if _, ok := z.DiffSince(base); ok {
+		t.Fatal("DiffSince claims continuity past the trimmed window")
+	}
+	// The newest mutations are still incrementally servable.
+	cur := z.Serial()
+	if err := z.Add(A("fresh.d.test", "9", 60)); err != nil {
+		t.Fatal(err)
+	}
+	if diffs, ok := z.DiffSince(cur); !ok || len(diffs) != 1 {
+		t.Fatalf("recent DiffSince = %d, ok=%v", len(diffs), ok)
+	}
+
+	// Replace and ForceSerial break continuity wholesale.
+	if err := z.Replace([]RR{A("x.d.test", "1", 60)}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := z.DiffSince(99); ok {
+		t.Fatal("DiffSince survived Replace")
+	}
+	z.EnableDiffLog(4)
+	if err := z.Add(A("y.d.test", "1", 60)); err != nil {
+		t.Fatal(err)
+	}
+	z.ForceSerial(200)
+	if _, ok := z.DiffSince(100); ok {
+		t.Fatal("DiffSince survived ForceSerial")
+	}
+	// Disabling drops the log.
+	if err := z.Add(A("z.d.test", "1", 60)); err != nil {
+		t.Fatal(err)
+	}
+	z.EnableDiffLog(0)
+	if _, ok := z.DiffSince(200); ok {
+		t.Fatal("DiffSince answered with the log disabled")
+	}
+}
+
+// ---- IXFR payload codec.
+
+func TestDiffCodecRoundTrip(t *testing.T) {
+	in := []DiffRec{
+		{Serial: 5, Op: UpdateAdd, RR: A("a.d.test", "1", 60)},
+		{Serial: 6, Op: UpdateRemove, RR: RR{Name: "a.d.test", Type: TypeA, Class: ClassIN}},
+		{Serial: 9, Op: UpdateAdd, RR: RR{Name: "m.d.test", Type: TypeHNSMeta, Class: ClassIN, TTL: 30, Data: []byte("loc=cluster-7")}},
+	}
+	payload := encodeDiffs("d.test", in)
+	out, err := decodeDiffs("d.test", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Serial != in[i].Serial || out[i].Op != in[i].Op ||
+			out[i].RR.Name != in[i].RR.Name || out[i].RR.Type != in[i].RR.Type ||
+			string(out[i].RR.Data) != string(in[i].RR.Data) {
+			t.Fatalf("record %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDiffCodecRejectsMalformed(t *testing.T) {
+	good := encodeDiffs("d.test", []DiffRec{
+		{Serial: 5, Op: UpdateAdd, RR: A("a.d.test", "1", 60)},
+		{Serial: 6, Op: UpdateAdd, RR: A("b.d.test", "2", 60)},
+	})
+	cases := map[string][]byte{
+		"truncated":    good[:len(good)-3],
+		"wrong kind":   append([]byte{'R'}, good[1:]...),
+		"trailing":     append(append([]byte(nil), good...), 0x01),
+		"serial order": encodeDiffs("d.test", []DiffRec{{Serial: 6, Op: UpdateAdd, RR: A("a.d.test", "1", 60)}, {Serial: 6, Op: UpdateAdd, RR: A("b.d.test", "2", 60)}}),
+	}
+	for name, b := range cases {
+		if _, err := decodeDiffs("d.test", b); err == nil {
+			t.Errorf("%s: decodeDiffs accepted malformed payload", name)
+		}
+	}
+	// Zone mismatch fails whole.
+	if _, err := decodeDiffs("other.test", good); err == nil {
+		t.Error("decodeDiffs accepted a foreign zone's payload")
+	}
+}
+
+func FuzzIXFRDecode(f *testing.F) {
+	f.Add([]byte("d.test"), encodeDiffs("d.test", []DiffRec{
+		{Serial: 5, Op: UpdateAdd, RR: A("a.d.test", "1", 60)},
+		{Serial: 7, Op: UpdateRemove, RR: RR{Name: "a.d.test", Type: TypeA, Class: ClassIN}},
+	}))
+	f.Add([]byte("z"), []byte{'U', 0, 0, 0})
+	f.Add([]byte(""), []byte{})
+	f.Fuzz(func(t *testing.T, zone, payload []byte) {
+		diffs, err := decodeDiffs(string(zone), payload)
+		if err != nil {
+			return
+		}
+		// Accepted payloads re-encode byte-identically (canonical codec)
+		// and keep their serial-order invariant.
+		for i := 1; i < len(diffs); i++ {
+			if diffs[i].Serial <= diffs[i-1].Serial {
+				t.Fatalf("accepted non-increasing serials: %+v", diffs)
+			}
+		}
+		out := encodeDiffs(string(zone), diffs)
+		if string(out) != string(payload) {
+			t.Fatalf("decode/encode not canonical: in=%x out=%x", payload, out)
+		}
+	})
+}
+
+// ---- Server plane over the wire.
+
+// newPushPrimary stands up a primary with push + diff log enabled.
+func newPushPrimary(t *testing.T, window int) (*Server, *HRPCClient, *transport.Network) {
+	t.Helper()
+	model := simtime.Default()
+	net := transport.NewNetwork(model)
+	s := NewServer("primary", model)
+	z, err := NewZone("repl.test", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z.EnableDiffLog(window)
+	if err := s.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	s.EnablePush(0)
+	if err := s.LoadRecords([]RR{
+		A("a.repl.test", "1", 600),
+		A("b.repl.test", "2", 600),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ln, b, err := s.ServeHRPC(net, "primary:bind-hrpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	hc := hrpc.NewClient(net)
+	t.Cleanup(func() { hc.Close() })
+	return s, NewHRPCClient(hc, b), net
+}
+
+func TestTransferDeltaOverWire(t *testing.T) {
+	s, client, _ := newPushPrimary(t, 64)
+	ctx := context.Background()
+	base, err := client.Serial(ctx, "repl.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Update(ctx, "repl.test", UpdateAdd, A(fmt.Sprintf("u%d.repl.test", i), "9", 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial, diffs, ok, err := client.TransferDelta(ctx, "repl.test", base)
+	if err != nil || !ok {
+		t.Fatalf("TransferDelta = ok=%v err=%v", ok, err)
+	}
+	if len(diffs) != 3 {
+		t.Fatalf("got %d diffs, want 3", len(diffs))
+	}
+	if serial != s.Zone("repl.test").Serial() {
+		t.Fatalf("serial %d != zone serial %d", serial, s.Zone("repl.test").Serial())
+	}
+	// Up to date: empty diff, still ok.
+	if _, diffs, ok, err := client.TransferDelta(ctx, "repl.test", serial); err != nil || !ok || len(diffs) != 0 {
+		t.Fatalf("current TransferDelta = %d diffs ok=%v err=%v", len(diffs), ok, err)
+	}
+	// Unknown zone refuses.
+	if _, _, ok, err := client.TransferDelta(ctx, "nope.test", 1); ok || err == nil {
+		t.Fatalf("unknown zone: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTransferDeltaFallsBackPastWindow(t *testing.T) {
+	s, client, _ := newPushPrimary(t, 2)
+	ctx := context.Background()
+	base, _ := client.Serial(ctx, "repl.test")
+	for i := 0; i < 12; i++ {
+		if _, _, err := s.Update(ctx, "repl.test", UpdateAdd, A(fmt.Sprintf("w%d.repl.test", i), "1", 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, ok, err := client.TransferDelta(ctx, "repl.test", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("TransferDelta claimed continuity far past the window")
+	}
+}
+
+// TestTransferDeltaOldServerLatches exercises interop with a pre-IXFR
+// peer: the first call gets "procedure unavailable" and latches, later
+// calls skip the wire entirely.
+func TestTransferDeltaOldServerLatches(t *testing.T) {
+	model := simtime.Default()
+	net := transport.NewNetwork(model)
+	// An "old" server: the same program/version, but only the original
+	// four procedures registered.
+	hs := hrpc.NewServer("bind-hrpc@old", HRPCProgram, HRPCVersion)
+	hs.Register(procSerial, func(ctx context.Context, args marshal.Value) (marshal.Value, error) {
+		return marshal.StructV(marshal.U32(uint32(RCodeOK)), marshal.U32(7)), nil
+	})
+	ln, b, err := hrpc.Serve(net, hs, hrpc.SuiteRaw, "old", "old:bind-hrpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hc := hrpc.NewClient(net)
+	defer hc.Close()
+	client := NewHRPCClient(hc, b)
+
+	ctx := context.Background()
+	_, _, ok, err := client.TransferDelta(ctx, "repl.test", 1)
+	if err != nil || ok {
+		t.Fatalf("old server TransferDelta = ok=%v err=%v; want graceful fallback", ok, err)
+	}
+	if !client.noIxfr.Load() {
+		t.Fatal("noIxfr did not latch after procedure-unavailable")
+	}
+	// Latch means no wire traffic: works even with the listener closed.
+	ln.Close()
+	if _, _, ok, err := client.TransferDelta(ctx, "repl.test", 1); err != nil || ok {
+		t.Fatalf("latched TransferDelta = ok=%v err=%v", ok, err)
+	}
+}
+
+// ---- Subscription end to end.
+
+// notifyRecorder collects notifications thread-safely.
+type notifyRecorder struct {
+	mu     sync.Mutex
+	names  []string
+	resets int
+}
+
+func (r *notifyRecorder) onNotify(n push.Notification) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.names = append(r.names, n.Name)
+}
+
+func (r *notifyRecorder) onReset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resets++
+}
+
+func (r *notifyRecorder) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.names...)
+}
+
+func (r *notifyRecorder) resetCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resets
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSubscribeDeliversNotify(t *testing.T) {
+	s, client, _ := newPushPrimary(t, 64)
+	rec := &notifyRecorder{}
+	sub := NewSubscriber(client, SubscribeConfig{
+		Zone:     "repl.test",
+		OnNotify: rec.onNotify,
+		Backoff:  10 * time.Millisecond,
+		Metrics:  metrics.Discard,
+	})
+	sub.Start()
+	defer sub.Close()
+	waitFor(t, "subscription active", sub.Active)
+
+	ctx := context.Background()
+	if _, _, err := s.Update(ctx, "repl.test", UpdateAdd, A("hot.repl.test", "7", 60)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "notify delivery", func() bool { return len(rec.snapshot()) >= 1 })
+	if got := rec.snapshot(); got[0] != "hot.repl.test" {
+		t.Fatalf("notified name %q, want hot.repl.test", got[0])
+	}
+	if sub.LastSerial() != s.Zone("repl.test").Serial() {
+		t.Fatalf("LastSerial %d != zone serial %d", sub.LastSerial(), s.Zone("repl.test").Serial())
+	}
+	if sub.Degraded() {
+		t.Fatal("healthy subscription marked degraded")
+	}
+}
+
+// TestSubscribeResubscribeCatchUp is the crash-consistency guarantee:
+// kill the connection mid-stream, mutate the zone while the subscriber
+// is dark, and verify the resubscribe-with-serial IXFR replays every
+// missed invalidation — zero lost, none duplicated.
+func TestSubscribeResubscribeCatchUp(t *testing.T) {
+	s, client, _ := newPushPrimary(t, 64)
+	rec := &notifyRecorder{}
+	sub := NewSubscriber(client, SubscribeConfig{
+		Zone:     "repl.test",
+		OnNotify: rec.onNotify,
+		OnReset:  rec.onReset,
+		Backoff:  5 * time.Millisecond,
+		Metrics:  metrics.Discard,
+	})
+	sub.Start()
+	defer sub.Close()
+	waitFor(t, "subscription active", sub.Active)
+
+	ctx := context.Background()
+	if _, _, err := s.Update(ctx, "repl.test", UpdateAdd, A("live.repl.test", "1", 60)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "live notify", func() bool { return len(rec.snapshot()) >= 1 })
+
+	// Kill the mux conn mid-stream.
+	sub.mu.Lock()
+	conn := sub.conn
+	sub.mu.Unlock()
+	if conn == nil {
+		t.Fatal("no live conn to kill")
+	}
+	conn.Close()
+	waitFor(t, "subscription inactive", func() bool { return !sub.Active() })
+
+	// Three updates land while the subscriber is dark.
+	missed := []string{"m1.repl.test", "m2.repl.test", "m3.repl.test"}
+	for _, name := range missed {
+		if _, _, err := s.Update(ctx, "repl.test", UpdateAdd, A(name, "1", 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The subscriber redials, resubscribes with its last serial, and the
+	// IXFR catch-up replays exactly the missed names.
+	waitFor(t, "catch-up", func() bool { return len(rec.snapshot()) >= 1+len(missed) })
+	got := rec.snapshot()
+	for i, name := range missed {
+		if got[1+i] != name {
+			t.Fatalf("catch-up replay = %v, want suffix %v", got[1:], missed)
+		}
+	}
+	if rec.resetCount() != 0 {
+		t.Fatal("catch-up within the window must not reset")
+	}
+	if sub.LastSerial() != s.Zone("repl.test").Serial() {
+		t.Fatalf("LastSerial %d != zone serial %d after catch-up", sub.LastSerial(), s.Zone("repl.test").Serial())
+	}
+	waitFor(t, "subscription re-active", sub.Active)
+
+	// And live pushes flow again on the new connection.
+	if _, _, err := s.Update(ctx, "repl.test", UpdateAdd, A("post.repl.test", "1", 60)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "post-catch-up notify", func() bool {
+		snap := rec.snapshot()
+		return len(snap) >= 2+len(missed) && snap[len(snap)-1] == "post.repl.test"
+	})
+}
+
+// TestSubscribeResetPastWindow: if the outage outlives the diff window,
+// the subscriber must signal a reset instead of silently missing
+// invalidations.
+func TestSubscribeResetPastWindow(t *testing.T) {
+	s, client, _ := newPushPrimary(t, 2)
+	rec := &notifyRecorder{}
+	sub := NewSubscriber(client, SubscribeConfig{
+		Zone:     "repl.test",
+		OnNotify: rec.onNotify,
+		OnReset:  rec.onReset,
+		Backoff:  5 * time.Millisecond,
+		Metrics:  metrics.Discard,
+	})
+	sub.Start()
+	defer sub.Close()
+	waitFor(t, "subscription active", sub.Active)
+
+	sub.mu.Lock()
+	conn := sub.conn
+	sub.mu.Unlock()
+	conn.Close()
+	waitFor(t, "subscription inactive", func() bool { return !sub.Active() })
+
+	ctx := context.Background()
+	for i := 0; i < 12; i++ {
+		if _, _, err := s.Update(ctx, "repl.test", UpdateAdd, A(fmt.Sprintf("o%d.repl.test", i), "1", 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "reset", func() bool { return rec.resetCount() > 0 })
+	waitFor(t, "subscription re-active", sub.Active)
+	if sub.LastSerial() != s.Zone("repl.test").Serial() {
+		t.Fatalf("LastSerial %d != zone serial %d after reset", sub.LastSerial(), s.Zone("repl.test").Serial())
+	}
+}
+
+// TestSubscribeDegradesWithoutPushPlane: a server without EnablePush
+// refuses, and the subscriber latches degraded instead of retrying.
+func TestSubscribeDegradesWithoutPushPlane(t *testing.T) {
+	_, client, _ := newPrimary(t) // no EnablePush
+	sub := NewSubscriber(client, SubscribeConfig{
+		Zone:    "repl.test",
+		Backoff: 5 * time.Millisecond,
+		Metrics: metrics.Discard,
+	})
+	sub.Start()
+	defer sub.Close()
+	waitFor(t, "degraded latch", sub.Degraded)
+	if sub.Active() {
+		t.Fatal("degraded subscriber claims active")
+	}
+}
+
+// TestSubscribeDegradesOnSerialFraming: with mux framing off (old
+// transport stack), the connection has no push channel; the subscriber
+// must fall back to polling, not error-loop.
+func TestSubscribeDegradesOnSerialFraming(t *testing.T) {
+	s, client, net := newPushPrimary(t, 64)
+	_ = s
+	net.SetMux(false)
+	sub := NewSubscriber(client, SubscribeConfig{
+		Zone:    "repl.test",
+		Backoff: 5 * time.Millisecond,
+		Metrics: metrics.Discard,
+	})
+	sub.Start()
+	defer sub.Close()
+	waitFor(t, "degraded latch", sub.Degraded)
+}
+
+// TestTableOverflowDegradesSubscriber: a full subscriber table refuses
+// the subscription and the client latches degraded (polls instead).
+func TestTableOverflowDegradesSubscriber(t *testing.T) {
+	s, client, _ := newPushPrimary(t, 64)
+	// Rebuild the push plane with room for exactly one subscriber.
+	s.EnablePush(1)
+	first := NewSubscriber(client, SubscribeConfig{
+		Zone:    "repl.test",
+		Backoff: 5 * time.Millisecond,
+		Metrics: metrics.Discard,
+	})
+	first.Start()
+	defer first.Close()
+	waitFor(t, "first subscriber active", first.Active)
+
+	second := NewSubscriber(client, SubscribeConfig{
+		Zone:    "repl.test",
+		Backoff: 5 * time.Millisecond,
+		Metrics: metrics.Discard,
+	})
+	second.Start()
+	defer second.Close()
+	waitFor(t, "second subscriber degraded", second.Degraded)
+}
+
+// ---- Secondary over IXFR.
+
+func TestSecondaryRefreshesIncrementally(t *testing.T) {
+	s, client, _ := newPushPrimary(t, 64)
+	sec, err := NewSecondary(client, "repl.test", "mirror", simtime.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Cold start: full transfer (serial 0 cannot prove continuity).
+	if changed, err := sec.Refresh(ctx); err != nil || !changed {
+		t.Fatalf("cold refresh = %v, %v", changed, err)
+	}
+	if sec.DeltaRefreshes() != 0 {
+		t.Fatal("cold refresh should be full, not incremental")
+	}
+
+	// Incremental: one add, one remove.
+	if _, _, err := s.Update(ctx, "repl.test", UpdateAdd, A("inc.repl.test", "5", 60)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Update(ctx, "repl.test", UpdateRemove, RR{Name: "a.repl.test", Type: TypeA, Class: ClassIN}); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := sec.Refresh(ctx)
+	if err != nil || !changed {
+		t.Fatalf("delta refresh = %v, %v", changed, err)
+	}
+	if sec.DeltaRefreshes() != 1 {
+		t.Fatalf("DeltaRefreshes = %d, want 1", sec.DeltaRefreshes())
+	}
+	if sec.Serial() != s.Zone("repl.test").Serial() {
+		t.Fatalf("mirror serial %d != primary %d", sec.Serial(), s.Zone("repl.test").Serial())
+	}
+	if rcode, rrs := sec.Server().Query(ctx, "inc.repl.test", TypeA); rcode != RCodeOK || len(rrs) != 1 {
+		t.Fatalf("added record not mirrored: %v %v", rcode, rrs)
+	}
+	if rcode, _ := sec.Server().Query(ctx, "a.repl.test", TypeA); rcode != RCodeNXDomain {
+		t.Fatalf("removed record survives on mirror: %v", rcode)
+	}
+
+	// The incremental path must be far cheaper than re-copying the zone.
+	// Grow the zone well past the diff window (forcing one full resync),
+	// then measure a one-record delta refresh against the full-zone cost.
+	var bulk []RR
+	for i := 0; i < 300; i++ {
+		bulk = append(bulk, A(fmt.Sprintf("bulk%d.repl.test", i), "1", 600))
+	}
+	if err := s.LoadRecords(bulk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sec.Refresh(ctx); err != nil { // full: 300 adds > window
+		t.Fatal(err)
+	}
+	if _, _, err := s.Update(ctx, "repl.test", UpdateAdd, A("one.repl.test", "1", 60)); err != nil {
+		t.Fatal(err)
+	}
+	cost, err := simtime.Measure(ctx, func(ctx context.Context) error {
+		changed, err := sec.Refresh(ctx)
+		if err == nil && !changed {
+			t.Error("delta refresh saw no change")
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec.DeltaRefreshes() != 2 {
+		t.Fatalf("DeltaRefreshes = %d, want 2", sec.DeltaRefreshes())
+	}
+	model := simtime.Default()
+	fullCost := model.ZoneXfer(sec.Server().Zone("repl.test").Count())
+	if cost >= fullCost/2 {
+		t.Fatalf("delta refresh cost %v not ≪ full transfer %v", cost, fullCost)
+	}
+}
+
+func TestSecondaryFallsBackPastWindow(t *testing.T) {
+	s, client, _ := newPushPrimary(t, 2)
+	sec, err := NewSecondary(client, "repl.test", "mirror", simtime.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sec.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := s.Update(ctx, "repl.test", UpdateAdd, A(fmt.Sprintf("f%d.repl.test", i), "1", 60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	changed, err := sec.Refresh(ctx)
+	if err != nil || !changed {
+		t.Fatalf("fallback refresh = %v, %v", changed, err)
+	}
+	if sec.DeltaRefreshes() != 0 {
+		t.Fatal("refresh past the window must fall back to a full transfer")
+	}
+	// Contents converge regardless.
+	if rcode, _ := sec.Server().Query(ctx, "f11.repl.test", TypeA); rcode != RCodeOK {
+		t.Fatalf("fallback did not converge: %v", rcode)
+	}
+	if sec.Serial() != s.Zone("repl.test").Serial() {
+		t.Fatalf("mirror serial %d != primary %d", sec.Serial(), s.Zone("repl.test").Serial())
+	}
+}

@@ -117,3 +117,43 @@ func TestResolverRefreshAheadSingleFlight(t *testing.T) {
 		t.Fatalf("refresh stampede: %d backend calls, want 2", got)
 	}
 }
+
+// TestResolverRefreshAheadYieldsToPush is the push/refresh-ahead
+// interplay regression: while a live push subscription covers the
+// resolver, a cooling hit must NOT also launch a timer refresh — the
+// server tells us about every change, so the re-fetch would be pure
+// duplicate load. The moment the subscription drops, refresh-ahead
+// takes back over.
+func TestResolverRefreshAheadYieldsToPush(t *testing.T) {
+	clock := simtime.NewFakeClock(time.Unix(0, 0))
+	backend := &gatedBackend{ttl: 10}
+	r := NewResolver(backend, simtime.Default(), ResolverConfig{
+		Clock:        clock,
+		RefreshAhead: 0.5,
+	})
+	var pushLive atomic.Bool
+	pushLive.Store(true)
+	r.SetPushCovered(pushLive.Load)
+	ctx := context.Background()
+
+	if _, err := r.Lookup(ctx, "a.test", TypeA); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining 4s of 10: below the refresh threshold, but push-covered.
+	clock.Advance(6 * time.Second)
+	if _, err := r.Lookup(ctx, "a.test", TypeA); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let any (buggy) refresh land
+	if got := backend.calls.Load(); got != 1 {
+		t.Fatalf("push-covered entry was timer-refreshed (%d backend calls)", got)
+	}
+
+	// Subscription drops (conn death, degradation): the same cooling hit
+	// now refreshes, so TTL freshness is preserved without push.
+	pushLive.Store(false)
+	if _, err := r.Lookup(ctx, "a.test", TypeA); err != nil {
+		t.Fatal(err)
+	}
+	waitForCalls(t, backend, 2)
+}

@@ -24,6 +24,7 @@ type Secondary struct {
 	mu       sync.Mutex
 	serial   uint32
 	refreshN int
+	deltaN   int
 	journal  ZoneStore
 }
 
@@ -59,6 +60,14 @@ func (s *Secondary) Refreshes() int {
 	return s.refreshN
 }
 
+// DeltaRefreshes reports how many of those transfers were served
+// incrementally (IXFR) rather than as full zone copies.
+func (s *Secondary) DeltaRefreshes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deltaN
+}
+
 // Restore seeds the mirror from recovered state, as a restarted bindd
 // does: the next Refresh probes the primary's serial and transfers only
 // if it moved, instead of paying a cold full transfer.
@@ -81,8 +90,10 @@ func (s *Secondary) SetJournal(j ZoneStore) {
 }
 
 // Refresh checks the primary's serial and transfers the zone if it moved,
-// reporting whether a transfer happened. The serial probe is cheap; the
-// transfer pays the full per-record cost.
+// reporting whether a transfer happened. The serial probe is cheap; an
+// incremental (IXFR) transfer is tried first and pays only per changed
+// record, falling back to the full per-record transfer cost when the
+// primary cannot prove diff continuity from our serial.
 func (s *Secondary) Refresh(ctx context.Context) (bool, error) {
 	remote, err := s.primary.Serial(ctx, s.origin)
 	if err != nil {
@@ -94,6 +105,13 @@ func (s *Secondary) Refresh(ctx context.Context) (bool, error) {
 	s.mu.Unlock()
 	if remote == current {
 		return false, nil
+	}
+	if current != 0 {
+		if done, err := s.refreshDelta(ctx, current, journal); err == nil && done {
+			return true, nil
+		}
+		// Any incremental failure — window exceeded, old primary, apply
+		// error — falls through to the full transfer below.
 	}
 	serial, rrs, err := s.primary.Transfer(ctx, s.origin)
 	if err != nil {
@@ -110,6 +128,47 @@ func (s *Secondary) Refresh(ctx context.Context) (bool, error) {
 	s.mu.Lock()
 	s.serial = serial
 	s.refreshN++
+	s.mu.Unlock()
+	return true, nil
+}
+
+// refreshDelta attempts an incremental refresh from serial current.
+// done=false with a nil error means the incremental path was unusable
+// (not an error: the caller takes a full transfer).
+func (s *Secondary) refreshDelta(ctx context.Context, current uint32, journal ZoneStore) (bool, error) {
+	serial, diffs, ok, err := s.primary.TransferDelta(ctx, s.origin, current)
+	if err != nil || !ok {
+		return false, err
+	}
+	// Replay the primary's mutations in order. The mirror's state equals
+	// the primary's at serial current, so each op must apply cleanly; any
+	// surprise aborts to a full transfer rather than half-applying.
+	for _, d := range diffs {
+		switch d.Op {
+		case UpdateAdd:
+			err = s.zone.Add(d.RR)
+		case UpdateRemove:
+			err = s.zone.Remove(d.RR)
+		default:
+			err = fmt.Errorf("bind: unknown diff op %d", d.Op)
+		}
+		if err != nil {
+			return false, fmt.Errorf("bind: secondary %s: diff apply: %w", s.origin, err)
+		}
+		if journal != nil {
+			if err := journal.LogUpdate(s.origin, d.Op, d.RR, d.Serial); err != nil {
+				return false, fmt.Errorf("bind: secondary %s: delta not durable: %w", s.origin, err)
+			}
+		}
+	}
+	// Pin the exact transferred serial: local Add/Remove bumped ours in
+	// lockstep, but the primary's dedup semantics are authoritative.
+	s.zone.ForceSerial(serial)
+	s.server.InvalidateReplies()
+	s.mu.Lock()
+	s.serial = serial
+	s.refreshN++
+	s.deltaN++
 	s.mu.Unlock()
 	return true, nil
 }

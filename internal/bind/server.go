@@ -51,6 +51,11 @@ type Server struct {
 	// sharded meta-store's ownership check. nil (the default) accepts
 	// every update the zone allows, exactly the unsharded server.
 	gate atomic.Pointer[updateGateHolder]
+
+	// pushTab, when set (EnablePush), holds the push-invalidation
+	// subscriber table; every applied update fans a notification out to
+	// it. nil (the default) sends nothing — the paper's poll-only server.
+	pushTab pushTabPtr
 }
 
 // UpdateGate vets a dynamic update before it is applied. A nil return
@@ -299,16 +304,20 @@ func (s *Server) Update(ctx context.Context, zoneOrigin string, op uint32, rr RR
 	if err != nil {
 		return RCodeServFail, z.Serial(), err
 	}
+	serial = z.Serial()
 	if journal != nil {
-		if jerr := journal.LogUpdate(z.Origin(), op, rr, z.Serial()); jerr != nil {
-			return RCodeServFail, z.Serial(), fmt.Errorf("bind: update not durable: %w", jerr)
+		if jerr := journal.LogUpdate(z.Origin(), op, rr, serial); jerr != nil {
+			return RCodeServFail, serial, fmt.Errorf("bind: update not durable: %w", jerr)
 		}
 	}
 	// The zone changed: cached encoded replies are now stale. Dropping
 	// them here (rather than per-name) keeps the invalidation as simple
 	// as the TTL scheme the paper's caching leans on.
 	s.InvalidateReplies()
-	return RCodeOK, z.Serial(), nil
+	// NOTIFY fan-out: subscribers learn of the serial bump now instead
+	// of on their next poll. No-op unless EnablePush was called.
+	s.publishUpdate(z.Origin(), rr.Name, serial)
+	return RCodeOK, serial, nil
 }
 
 // Transfer returns the zone's full contents (AXFR), charging the per-record
@@ -568,6 +577,7 @@ func (s *Server) HRPCServer() *hrpc.Server {
 		return marshal.StructV(marshal.U32(uint32(RCodeOK)), marshal.U32(z.Serial())), nil
 	})
 	s.registerBatch(hs)
+	s.registerPush(hs)
 	return hs
 }
 

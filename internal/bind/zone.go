@@ -27,6 +27,21 @@ type Zone struct {
 	mu      sync.RWMutex
 	serial  uint32
 	records map[string][]RR // keyed by owner name; mixed types per name
+
+	// IXFR diff log: the most recent diffWindow mutations, each tagged
+	// with the serial it left the zone at, so "changes since serial S"
+	// can be answered from memory. Zero window (the default) keeps the
+	// zone byte-identical to the paper's: no log, every transfer full.
+	diffWindow int
+	diff       []DiffRec
+}
+
+// DiffRec is one retained zone mutation, the unit of an IXFR-style
+// incremental transfer: applying Op/RR leaves the zone at Serial.
+type DiffRec struct {
+	Serial uint32
+	Op     uint32 // UpdateAdd or UpdateRemove
+	RR     RR
 }
 
 // NewZone creates an empty zone rooted at origin. allowUpdate enables the
@@ -95,11 +110,13 @@ func (z *Zone) Add(rr RR) error {
 		if e.Equal(rr) {
 			z.records[rr.Name][i] = rr // refresh TTL
 			z.serial++
+			z.logDiff(UpdateAdd, rr)
 			return nil
 		}
 	}
 	z.records[rr.Name] = append(existing, rr)
 	z.serial++
+	z.logDiff(UpdateAdd, rr)
 	return nil
 }
 
@@ -134,7 +151,64 @@ func (z *Zone) Remove(rr RR) error {
 		z.records[rr.Name] = kept
 	}
 	z.serial++
+	z.logDiff(UpdateRemove, rr)
 	return nil
+}
+
+// EnableDiffLog retains the zone's most recent window mutations for
+// incremental (IXFR-style) transfer; 0 disables and drops the log.
+// Enable before serving: the log only covers mutations from this call
+// on, and DiffSince refuses ranges it cannot prove continuous.
+func (z *Zone) EnableDiffLog(window int) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	z.diffWindow = window
+	if window <= 0 {
+		z.diff = nil
+	}
+}
+
+// logDiff appends one mutation to the diff log. Caller holds z.mu, and
+// z.serial is already the post-mutation serial.
+func (z *Zone) logDiff(op uint32, rr RR) {
+	if z.diffWindow <= 0 {
+		return
+	}
+	z.diff = append(z.diff, DiffRec{Serial: z.serial, Op: op, RR: rr})
+	if len(z.diff) > 2*z.diffWindow {
+		// Trim lazily at 2× the window, keeping the newest window
+		// records in one copy — amortized O(1) per mutation. The window
+		// bounds memory; peers older than it take a full transfer.
+		z.diff = append(z.diff[:0:0], z.diff[len(z.diff)-z.diffWindow:]...)
+	}
+}
+
+// DiffSince returns the mutations that move the zone from serial since
+// to its current serial, oldest first. ok=false means the log cannot
+// prove continuity — since is outside the retained window (or ahead of
+// the zone, or the log is disabled) — and the caller must fall back to
+// a full transfer. An up-to-date caller gets (nil, true).
+func (z *Zone) DiffSince(since uint32) ([]DiffRec, bool) {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	if since == z.serial {
+		return nil, true
+	}
+	if since > z.serial || z.diffWindow <= 0 {
+		return nil, false
+	}
+	// Find the first retained record after since; continuity holds only
+	// if the log reaches back to since+1.
+	if len(z.diff) == 0 || z.diff[0].Serial > since+1 {
+		return nil, false
+	}
+	start := 0
+	for start < len(z.diff) && z.diff[start].Serial <= since {
+		start++
+	}
+	out := make([]DiffRec, len(z.diff)-start)
+	copy(out, z.diff[start:])
+	return out, true
 }
 
 // Lookup returns the records of the given type at name, following CNAME
@@ -225,6 +299,9 @@ func (z *Zone) Replace(rrs []RR, serial uint32) error {
 	defer z.mu.Unlock()
 	z.records = fresh
 	z.serial = serial
+	// A wholesale swap breaks diff continuity: incremental history
+	// restarts from the new serial.
+	z.diff = nil
 	return nil
 }
 
@@ -234,6 +311,7 @@ func (z *Zone) Replace(rrs []RR, serial uint32) error {
 func (z *Zone) ForceSerial(s uint32) {
 	z.mu.Lock()
 	z.serial = s
+	z.diff = nil // an arbitrary serial jump breaks diff continuity
 	z.mu.Unlock()
 }
 

@@ -435,3 +435,64 @@ func TestStatsCounters(t *testing.T) {
 		t.Fatalf("hit rate = %f after warm calls", st.Cache.HitRate)
 	}
 }
+
+// TestSubscribeMetaInvalidatesRemoteCache is the tentpole scenario: a
+// second HNS instance (a "remote" cache that would otherwise converge
+// only by TTL) subscribes to the meta zone; an update made elsewhere
+// must evict its cached entries via push, long before any TTL expires.
+func TestSubscribeMetaInvalidatesRemoteCache(t *testing.T) {
+	w := newWorld(t, world.Config{})
+	w.MetaServer.Zone(world.MetaZone).EnableDiffLog(256)
+	w.MetaServer.EnablePush(0)
+
+	h2 := w.NewHNS(core.Config{MetaZone: world.MetaZone})
+	if !h2.SubscribeMeta() {
+		t.Fatal("SubscribeMeta refused with push enabled")
+	}
+	defer h2.UnsubscribeMeta()
+	sub := h2.MetaSubscription()
+	if sub == nil {
+		t.Fatal("no subscription exposed")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !sub.Active() {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never became active")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Warm h2's meta cache (default meta TTL is 600s — far beyond this
+	// test's lifetime, so only push can invalidate it in time).
+	ctx := context.Background()
+	if _, err := h2.FindNSM(ctx, world.DesiredServiceName(), qclass.HRPCBinding); err != nil {
+		t.Fatal(err)
+	}
+
+	// The registration authority (a DIFFERENT HNS instance) withdraws the
+	// NSM. h2 must observe the withdrawal via push, not TTL.
+	if err := w.HNS.UnregisterNSM(ctx, "binding-bind-1", world.NSBind, qclass.HRPCBinding); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_, err := h2.FindNSM(ctx, world.DesiredServiceName(), qclass.HRPCBinding)
+		if errors.Is(err, core.ErrNoSuchNSM) {
+			break // push invalidation landed
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("remote cache still serves the withdrawn NSM (last err: %v)", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A client that cannot subscribe (the optional interface is absent)
+	// reports so and keeps working on TTL.
+	plain := core.New(noSubMeta{w.MetaHRPCClient()}, w.Model, core.Config{MetaZone: world.MetaZone})
+	if plain.SubscribeMeta() {
+		t.Fatal("SubscribeMeta succeeded on a client without the optional interface")
+	}
+}
+
+// noSubMeta wraps a MetaClient, hiding any Subscribe method.
+type noSubMeta struct{ core.MetaClient }

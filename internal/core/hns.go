@@ -151,6 +151,9 @@ type HNS struct {
 
 	mu            sync.RWMutex
 	hostResolvers map[string]HostResolver
+	// metaSub, when non-nil, is the live push subscription feeding
+	// cache invalidations (see SubscribeMeta in subscribe.go).
+	metaSub *bind.Subscriber
 
 	findCalls atomic.Int64
 	instr     bool

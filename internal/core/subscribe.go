@@ -1,0 +1,87 @@
+package core
+
+// Push-invalidation wiring for the meta-cache. The HNS library keeps
+// its MetaClient interface at the paper's four calls — widening it
+// would break every implementation (notably shard.Client) — so push is
+// discovered by optional interface assertion: a meta client that can
+// subscribe exposes Subscribe, and SubscribeMeta wires its
+// notifications into cache invalidation. Clients that cannot (sharded,
+// old servers, legacy transports) simply keep TTL polling.
+
+import (
+	"hns/internal/bind"
+	"hns/internal/push"
+)
+
+// MetaSubscriber is the optional push face of a MetaClient.
+// *bind.HRPCClient implements it; shard.Client deliberately does not
+// (its names span many servers — per-shard subscriptions are future
+// work tracked in ROADMAP.md).
+type MetaSubscriber interface {
+	Subscribe(cfg bind.SubscribeConfig) *bind.Subscriber
+}
+
+// SubscribeMeta connects the meta-cache to the server's push plane when
+// the meta client supports it, reporting whether a subscription was
+// started. While the subscription is live:
+//
+//   - every pushed update invalidates exactly the touched meta name, so
+//     the next lookup re-fetches it instead of waiting out its TTL;
+//   - refresh-ahead stands down (the push keeps entries fresh), and
+//     resumes by itself if the subscription drops;
+//   - a continuity loss (reconnect past the server's diff window)
+//     flushes the whole meta-cache rather than risk stale entries.
+//
+// TTL expiry stays on regardless — push narrows the staleness window,
+// it never becomes the sole freshness mechanism.
+func (h *HNS) SubscribeMeta() bool {
+	ms, ok := h.meta.(MetaSubscriber)
+	if !ok {
+		return false
+	}
+	sub := ms.Subscribe(bind.SubscribeConfig{
+		Zone: h.metaZone,
+		OnNotify: func(n push.Notification) {
+			if n.Name == "" {
+				// Zone-level event (e.g. a secondary refresh landed): the
+				// change set is unknown, flush.
+				h.FlushCache()
+				return
+			}
+			h.resolver.Invalidate(n.Name, bind.TypeHNSMeta)
+			if h.bindings != nil {
+				// Any meta change can underlie any memoized binding; the
+				// memo layer has no dependency index, so drop it wholesale.
+				h.bindings.Purge()
+			}
+		},
+		OnReset: func() { h.FlushCache() },
+	})
+	h.mu.Lock()
+	h.metaSub = sub
+	h.mu.Unlock()
+	h.resolver.SetPushCovered(sub.Active)
+	return true
+}
+
+// MetaSubscription exposes the live subscription (nil when none was
+// started) — the stats surface reports its state.
+func (h *HNS) MetaSubscription() *bind.Subscriber {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.metaSub
+}
+
+// UnsubscribeMeta tears down the push subscription (if any) and
+// restores timer-driven freshness.
+func (h *HNS) UnsubscribeMeta() {
+	h.mu.Lock()
+	sub := h.metaSub
+	h.metaSub = nil
+	h.mu.Unlock()
+	if sub == nil {
+		return
+	}
+	h.resolver.SetPushCovered(nil)
+	sub.Close()
+}

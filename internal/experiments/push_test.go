@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPushDocGolden locks the BENCH_push.json schema: field names,
+// nesting, and ordering. The result is a synthetic fixture, so the
+// golden file captures the document layout without depending on the
+// host; regenerate with `go test ./internal/experiments -run
+// PushDocGolden -update-golden` when the schema intentionally changes
+// (and bump PushSchema).
+func TestPushDocGolden(t *testing.T) {
+	spec := DefaultPushSpec()
+	res := PushResult{
+		Rows: []PushRow{
+			{Clients: 1000, PollFetches: 6000, PushFetches: 375, FetchRatio: 16,
+				PropagationP50Ms: 0.41, PropagationP99Ms: 0.92, PollIntervalMs: 30000},
+			{Clients: 10000, PollFetches: 60000, PushFetches: 3750, FetchRatio: 16,
+				PropagationP50Ms: 3.2, PropagationP99Ms: 7.8, PollIntervalMs: 30000},
+		},
+		IXFR: PushIXFR{
+			ZoneRecords: 400, DeltaRecords: 5,
+			FullBytes: 21050, DeltaBytes: 310, BytesRatio: 67.9,
+			FallbackFull: true,
+		},
+	}
+	buf, err := EncodePushDoc(BuildPushDoc(spec, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "BENCH_push.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(want) {
+		t.Errorf("BENCH_push.json schema drifted from %s;\ngot:\n%s\nwant:\n%s\n"+
+			"(rerun with -update-golden and bump PushSchema if intentional)",
+			golden, buf, want)
+	}
+}
+
+func TestPushSpecValidate(t *testing.T) {
+	good := DefaultPushSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default push spec rejected: %v", err)
+	}
+	bad := []PushSpec{
+		func() PushSpec { s := good; s.Rows = nil; return s }(),
+		func() PushSpec { s := good; s.Rows = []int{0}; return s }(),
+		func() PushSpec { s := good; s.WorkingSet = 0; return s }(),
+		func() PushSpec { s := good; s.WorkingSet = s.Names + 1; return s }(),
+		func() PushSpec { s := good; s.ChurnPerRound = 0; return s }(),
+		func() PushSpec { s := good; s.ChurnPerRound = s.Names + 1; return s }(),
+		func() PushSpec { s := good; s.Rounds = 0; return s }(),
+		func() PushSpec { s := good; s.PollIntervalSec = 0; return s }(),
+		func() PushSpec { s := good; s.DeltaRecords = 0; return s }(),
+		func() PushSpec { s := good; s.ZoneRecords = s.DeltaRecords - 1; return s }(),
+		func() PushSpec { s := good; s.IXFRWindow = s.DeltaRecords - 1; return s }(),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad push spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// smallPushSpec keeps the experiment fast enough for the ordinary test
+// tier; the full DefaultPushSpec runs in hnsbench and smoke.sh. The
+// client count is a multiple of Names so every name is held by exactly
+// WorkingSet*Clients/Names clients and the fetch counts are exact.
+func smallPushSpec() PushSpec {
+	return PushSpec{
+		Rows:            []int{48},
+		Names:           24,
+		WorkingSet:      2,
+		ChurnPerRound:   2,
+		Rounds:          2,
+		PollIntervalSec: 30,
+		ZoneRecords:     60,
+		DeltaRecords:    4,
+		IXFRWindow:      16,
+	}
+}
+
+// TestRunPushContracts runs the whole experiment small and asserts the
+// PR's bench bars where they are deterministic: the exact fetch counts
+// of both arms, the >= 10x fetch economy, zero staleness debt in the
+// push arm (its fetches are invalidation-driven, never expiry), the
+// propagation tail under the poll interval, and the IXFR diff moving a
+// small fraction of the full transfer with the fallback proven.
+func TestRunPushContracts(t *testing.T) {
+	spec := smallPushSpec()
+	res, err := RunPush(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(res.Rows))
+	}
+	row := res.Rows[0]
+	n := spec.Rows[0]
+
+	// Poll arm: every client re-fetches its whole working set every
+	// interval — N*W per round, exactly.
+	wantPoll := int64(spec.Rounds * n * spec.WorkingSet)
+	if row.PollFetches != wantPoll {
+		t.Errorf("poll fetches = %d, want %d", row.PollFetches, wantPoll)
+	}
+	// Push arm: only the churned names' holders re-fetch — C*W*N/M per
+	// round, exactly (N is a multiple of M).
+	wantPush := int64(spec.Rounds * spec.ChurnPerRound * spec.WorkingSet * n / spec.Names)
+	if row.PushFetches != wantPush {
+		t.Errorf("push fetches = %d, want %d", row.PushFetches, wantPush)
+	}
+	if row.FetchRatio < 10 {
+		t.Errorf("fetch economy %.1fx below the 10x bar", row.FetchRatio)
+	}
+	if row.PropagationP99Ms <= 0 || row.PropagationP99Ms >= row.PollIntervalMs {
+		t.Errorf("propagation p99 %.3fms not inside (0, poll interval %gms)",
+			row.PropagationP99Ms, row.PollIntervalMs)
+	}
+
+	// IXFR: the diff moves a small fraction of the zone and the
+	// out-of-window request is directed to a full transfer.
+	ix := res.IXFR
+	if ix.FullBytes <= 0 || ix.DeltaBytes <= 0 {
+		t.Fatalf("transfer bytes not measured: %+v", ix)
+	}
+	if ix.DeltaBytes*4 > ix.FullBytes {
+		t.Errorf("delta moved %d bytes vs full %d — not an incremental transfer", ix.DeltaBytes, ix.FullBytes)
+	}
+	if !ix.FallbackFull {
+		t.Error("out-of-window IXFR was not directed to a full transfer")
+	}
+}

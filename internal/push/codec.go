@@ -1,0 +1,77 @@
+package push
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Notification is one pushed invalidation: zone serial moved to Serial,
+// and — when the update touched a single owner name — Name says which,
+// so per-name subscribers (an hnsd meta-cache) invalidate exactly one
+// entry. An empty Name is a zone-level event (full replace, recovery):
+// every subscriber of the zone must treat all its entries as suspect.
+type Notification struct {
+	Zone   string
+	Name   string // empty: the whole zone
+	Serial uint32
+}
+
+// Wire form (big-endian, mirroring the bind journal codec):
+//
+//	'N' u32 serial  u16len zone  u16len name
+const notifyMark = 'N'
+
+// errNotify is the sticky decode failure class.
+var errNotify = errors.New("push: bad notification")
+
+// EncodeNotification renders n to its wire form.
+func EncodeNotification(n Notification) []byte {
+	b := make([]byte, 0, 1+4+2+len(n.Zone)+2+len(n.Name))
+	b = append(b, notifyMark)
+	b = binary.BigEndian.AppendUint32(b, n.Serial)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(n.Zone)))
+	b = append(b, n.Zone...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(n.Name)))
+	b = append(b, n.Name...)
+	return b
+}
+
+// DecodeNotification parses a pushed frame. Strict: trailing bytes are
+// an error, so a corrupted or truncated frame never half-applies.
+func DecodeNotification(b []byte) (Notification, error) {
+	var n Notification
+	if len(b) < 1 || b[0] != notifyMark {
+		return n, fmt.Errorf("%w: missing mark", errNotify)
+	}
+	b = b[1:]
+	if len(b) < 4 {
+		return n, fmt.Errorf("%w: truncated serial", errNotify)
+	}
+	n.Serial = binary.BigEndian.Uint32(b)
+	b = b[4:]
+	var err error
+	if n.Zone, b, err = takeString(b); err != nil {
+		return Notification{}, fmt.Errorf("%w: zone: %v", errNotify, err)
+	}
+	if n.Name, b, err = takeString(b); err != nil {
+		return Notification{}, fmt.Errorf("%w: name: %v", errNotify, err)
+	}
+	if len(b) != 0 {
+		return Notification{}, fmt.Errorf("%w: %d trailing bytes", errNotify, len(b))
+	}
+	return n, nil
+}
+
+// takeString consumes one u16-length-prefixed string.
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errors.New("truncated length")
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, errors.New("truncated body")
+	}
+	return string(b[:n]), b[n:], nil
+}

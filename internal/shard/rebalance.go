@@ -36,6 +36,7 @@ type Puller struct {
 
 	pulled    *metrics.Counter // shard_rebalance_pulled_total{shard=...}
 	transfers *metrics.Counter // shard_rebalance_transfers_total{shard=...}
+	deltas    *metrics.Counter // shard_rebalance_deltas_total{shard=...}
 }
 
 // NewPuller builds a puller feeding srv's sharded zone from peers.
@@ -53,6 +54,8 @@ func NewPuller(serving *Serving, srv *bind.Server, peers []Peer, reg *metrics.Re
 		pulled: reg.Counter(metrics.Labels("shard_rebalance_pulled_total",
 			"shard", serving.ID())),
 		transfers: reg.Counter(metrics.Labels("shard_rebalance_transfers_total",
+			"shard", serving.ID())),
+		deltas: reg.Counter(metrics.Labels("shard_rebalance_deltas_total",
 			"shard", serving.ID())),
 	}
 }
@@ -79,15 +82,38 @@ func (p *Puller) Pull(ctx context.Context) (int, error) {
 			errs = append(errs, fmt.Errorf("probing %s: %w", peer.ID, err))
 			continue
 		}
-		if last, ok := p.lastSerial[peer.ID]; ok && last == serial {
+		last, seen := p.lastSerial[peer.ID]
+		if seen && last == serial {
 			continue // unchanged since the last pull
 		}
-		_, rrs, err := peer.Client.Transfer(ctx, p.zone)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("transferring from %s: %w", peer.ID, err))
-			continue
+		var rrs []bind.RR
+		incremental := false
+		if seen {
+			// A peer we have pulled before: ask only for what changed. The
+			// additions since our last pull are the complete candidate set —
+			// the full transfer would rediscover everything else unchanged.
+			if dserial, diffs, ok, derr := peer.Client.TransferDelta(ctx, p.zone, last); derr == nil && ok {
+				for _, d := range diffs {
+					if d.Op == bind.UpdateAdd {
+						rrs = append(rrs, d.RR)
+					}
+					// Removals are the old owner shedding its slice (or real
+					// deletes that reached us directly); like the full path,
+					// installation is add-only.
+				}
+				serial, incremental = dserial, true
+				p.deltas.Inc()
+			}
 		}
-		p.transfers.Inc()
+		if !incremental {
+			full, frrs, ferr := peer.Client.Transfer(ctx, p.zone)
+			if ferr != nil {
+				errs = append(errs, fmt.Errorf("transferring from %s: %w", peer.ID, ferr))
+				continue
+			}
+			serial, rrs = full, frrs
+			p.transfers.Inc()
+		}
 		for _, rr := range rrs {
 			if rr.Name == MapName(p.zone) {
 				continue // map rotation is Serving's business

@@ -172,3 +172,72 @@ func TestPullSkipsDeadPeers(t *testing.T) {
 		t.Fatal("pull with a dead peer reported no error")
 	}
 }
+
+// With the peers' diff logs on, a repeat pull from a changed peer moves
+// only the records that changed — shard_rebalance_deltas_total counts
+// the round, shard_rebalance_transfers_total (full copies) stays put.
+func TestPullUsesIncrementalTransferWhenAvailable(t *testing.T) {
+	e := newEnv(t, 2)
+	ctx := context.Background()
+	for _, srv := range e.servers {
+		srv.Zone("hns").EnableDiffLog(128)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := e.client.Update(ctx, "hns", bind.UpdateAdd,
+			metaRR(fmt.Sprintf("ctx-%d.hns", i), "v=1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := NewPuller(e.servings[0], e.servers[0], e.peersOf(), e.reg)
+	if _, err := p.Pull(ctx); err != nil {
+		t.Fatalf("seed pull: %v", err)
+	}
+	fullBefore := counterValue(e.reg, "shard_rebalance_transfers_total", e.m.Members[0].ID)
+	deltaBefore := counterValue(e.reg, "shard_rebalance_deltas_total", e.m.Members[0].ID)
+
+	// The peer (shard 1) gains records that hash to shard 0 — the moved
+	// slice an old owner still holds. Install them straight into its zone
+	// (the ownership gate lives in Server.Update, not in replication).
+	var movedNames []string
+	for i := 0; len(movedNames) < 4 && i < 200; i++ {
+		name := fmt.Sprintf("ctx-new-%d.hns", i)
+		if owner, _ := e.m.Owner(name); owner.ID == e.m.Members[0].ID {
+			movedNames = append(movedNames, name)
+			if err := e.servers[1].Zone("hns").Add(metaRR(name, "v=2")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(movedNames) < 4 {
+		t.Fatal("could not find names owned by shard 0")
+	}
+	if _, err := p.Pull(ctx); err != nil {
+		t.Fatalf("delta pull: %v", err)
+	}
+	if got := counterValue(e.reg, "shard_rebalance_transfers_total", e.m.Members[0].ID); got != fullBefore {
+		t.Fatalf("delta pull ran %d full transfers", got-fullBefore)
+	}
+	if got := counterValue(e.reg, "shard_rebalance_deltas_total", e.m.Members[0].ID); got != deltaBefore+1 {
+		t.Fatalf("deltas counter moved %d, want 1", got-deltaBefore)
+	}
+	// The moved slice actually landed via the delta.
+	for _, name := range movedNames {
+		if rrs, _ := e.servers[0].Zone("hns").Lookup(name, bind.TypeHNSMeta); len(rrs) != 1 {
+			t.Fatalf("owned record %s not installed by delta pull", name)
+		}
+	}
+	// A later pull against a peer whose diff window was overrun falls
+	// back to the full transfer and still converges.
+	e.servers[1].Zone("hns").EnableDiffLog(2)
+	for i := 0; i < 10; i++ {
+		if err := e.servers[1].Zone("hns").Add(metaRR(fmt.Sprintf("ctx-burst-%d.hns", i), "v=3")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Pull(ctx); err != nil {
+		t.Fatalf("fallback pull: %v", err)
+	}
+	if got := counterValue(e.reg, "shard_rebalance_transfers_total", e.m.Members[0].ID); got != fullBefore+1 {
+		t.Fatalf("window overrun should cost exactly one full transfer, got %d", got-fullBefore)
+	}
+}

@@ -146,6 +146,7 @@ type muxCore struct {
 	nextTag uint32
 	closed  bool
 	broken  *ConnBrokenError // set once the reader dies; fails all later calls
+	onPush  func(body []byte, err error)
 }
 
 func newMuxCore(obs wireObs, rtt time.Duration,
@@ -178,6 +179,25 @@ func (m *muxCore) readLoop() {
 			m.fail(err)
 			return
 		}
+		if tag == pushTag {
+			m.mu.Lock()
+			fn := m.onPush
+			m.mu.Unlock()
+			if fn == nil {
+				// No handler installed (an old client, or nobody
+				// subscribed on this conn): drop like any unclaimed tag.
+				m.obs.demux()
+				bufpool.Put(body)
+				continue
+			}
+			// The handler owns its copy; the pooled read buffer recycles
+			// immediately.
+			cp := append(make([]byte, 0, len(body)), body...)
+			m.obs.rx(len(body))
+			bufpool.Put(body)
+			fn(cp, nil)
+			continue
+		}
 		m.mu.Lock()
 		ch := m.pending[tag]
 		delete(m.pending, tag)
@@ -204,8 +224,30 @@ func (m *muxCore) fail(cause error) {
 		delete(m.pending, tag)
 		ch <- muxResult{err: broken}
 	}
+	fn := m.onPush
+	m.onPush = nil // one death notice, ever
 	m.mu.Unlock()
 	_ = m.closeFn()
+	if fn != nil {
+		fn(nil, broken)
+	}
+}
+
+// SetPushHandler implements PushReceiver. A handler installed after the
+// connection already died receives the death notice immediately.
+func (m *muxCore) SetPushHandler(fn func(body []byte, err error)) bool {
+	m.mu.Lock()
+	if m.broken != nil {
+		broken := m.broken
+		m.mu.Unlock()
+		if fn != nil {
+			fn(nil, broken)
+		}
+		return true
+	}
+	m.onPush = fn
+	m.mu.Unlock()
+	return true
 }
 
 // forget abandons a pending tag (the call gave up). A late reply for it

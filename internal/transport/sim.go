@@ -77,6 +77,8 @@ func (t *simTransport) Dial(ctx context.Context, addr string) (Conn, error) {
 	return &simConn{
 		t: t, addr: addr, ep: ep, serial: !t.mux.Load(),
 		peer: fmt.Sprintf("sim!%d", simPeerSeq.Add(1)),
+		id:   muxConnIDs.Add(1),
+		done: make(chan struct{}),
 	}, nil
 }
 
@@ -111,12 +113,66 @@ type simConn struct {
 	ep     *simEndpoint
 	serial bool   // captured at Dial: hold the conn for the whole round trip
 	peer   string // synthetic caller identity handed to the handler
+	id     uint64 // process-unique identity, mirroring muxCore
+	done   chan struct{}
 
 	mu     sync.Mutex
 	closed bool
+	onPush func(body []byte, err error)
 
 	callMu sync.Mutex // serializes round trips when serial is set
 }
+
+// SetPushHandler implements PushReceiver. Only multiplexed simulated
+// connections carry the push channel, mirroring the socket transports.
+func (c *simConn) SetPushHandler(fn func(body []byte, err error)) bool {
+	if c.serial {
+		return false
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		if fn != nil {
+			fn(nil, &ConnBrokenError{ConnID: c.id, Cause: ErrClosed})
+		}
+		return true
+	}
+	c.onPush = fn
+	c.mu.Unlock()
+	return true
+}
+
+// simPusher delivers server-initiated frames to the dialing simConn's
+// push handler synchronously — in-process "wire", deterministic for the
+// seeded harness. It implements Pusher.
+type simPusher struct{ c *simConn }
+
+// Push implements Pusher.
+func (p *simPusher) Push(body []byte) error {
+	select {
+	case <-p.c.ep.closed:
+		return ErrClosed
+	default:
+	}
+	p.c.mu.Lock()
+	closed, fn := p.c.closed, p.c.onPush
+	p.c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	p.c.t.obs.tx(len(body))
+	if fn == nil {
+		return nil // no handler: dropped, like an unclaimed tag
+	}
+	fn(append(make([]byte, 0, len(body)), body...), nil)
+	return nil
+}
+
+// Peer implements Pusher.
+func (p *simPusher) Peer() string { return p.c.peer }
+
+// Done implements Pusher.
+func (p *simPusher) Done() <-chan struct{} { return p.c.done }
 
 // Call implements Conn. The server handler runs on the caller's goroutine —
 // delivery is synchronous, like a blocked RPC — with a fresh meter whose
@@ -153,7 +209,13 @@ func (c *simConn) Call(ctx context.Context, req []byte) ([]byte, error) {
 	c.t.obs.tx(len(req))
 
 	serverMeter := simtime.NewMeter()
-	resp, err := c.ep.handler(WithPeer(simtime.WithMeter(context.Background(), serverMeter), c.peer), req)
+	hctx := WithPeer(simtime.WithMeter(context.Background(), serverMeter), c.peer)
+	if !c.serial {
+		// Multiplexed connections carry the push capability, exactly
+		// like serveConnMux on the socket transports.
+		hctx = WithPusher(hctx, &simPusher{c})
+	}
+	resp, err := c.ep.handler(hctx, req)
 	simtime.Charge(ctx, serverMeter.Elapsed())
 	if err != nil {
 		return nil, &RemoteError{Msg: err.Error()}
@@ -165,7 +227,16 @@ func (c *simConn) Call(ctx context.Context, req []byte) ([]byte, error) {
 // Close implements Conn.
 func (c *simConn) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	wasClosed := c.closed
 	c.closed = true
+	fn := c.onPush
+	c.onPush = nil // one death notice, ever
+	c.mu.Unlock()
+	if !wasClosed {
+		close(c.done)
+		if fn != nil {
+			fn(nil, &ConnBrokenError{ConnID: c.id, Cause: ErrClosed})
+		}
+	}
 	return nil
 }

@@ -185,10 +185,13 @@ func (l *tcpListener) serveConnMux(c net.Conn) {
 		wg  sync.WaitGroup
 	)
 	peer := c.RemoteAddr().String()
+	pusher := &tcpPusher{wmu: &wmu, c: c, peer: peer, done: make(chan struct{})}
 	defer func() {
-		// Drain in-flight handlers before closing so none writes to a
-		// closed socket it still believes healthy; their Write errors are
+		// Signal subscribers first so no new pushes start, then drain
+		// in-flight handlers before closing so none writes to a closed
+		// socket it still believes healthy; their Write errors are
 		// ignored either way.
+		close(pusher.done)
 		wg.Wait()
 		c.Close()
 	}()
@@ -201,7 +204,8 @@ func (l *tcpListener) serveConnMux(c net.Conn) {
 		go func(tag uint32, req []byte) {
 			defer wg.Done()
 			meter := simtime.NewMeter()
-			resp, herr := l.h(WithPeer(simtime.WithMeter(context.Background(), meter), peer), req)
+			ctx := WithPusher(WithPeer(simtime.WithMeter(context.Background(), meter), peer), pusher)
+			resp, herr := l.h(ctx, req)
 			out, err := encodeMuxReplyFramed(tag, meter.Elapsed(), resp, herr)
 			bufpool.Put(req) // after encoding: resp may alias the request
 			if err != nil {
@@ -214,6 +218,40 @@ func (l *tcpListener) serveConnMux(c net.Conn) {
 		}(tag, req)
 	}
 }
+
+// tcpPusher writes server-initiated tag-0 frames onto a multiplexed
+// connection, sharing the response writer lock so pushes interleave
+// cleanly with replies. It implements Pusher.
+type tcpPusher struct {
+	wmu  *sync.Mutex
+	c    net.Conn
+	peer string
+	done chan struct{}
+}
+
+// Push implements Pusher.
+func (p *tcpPusher) Push(body []byte) error {
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	out, err := frameMuxRequest(pushTag, body)
+	if err != nil {
+		return err
+	}
+	p.wmu.Lock()
+	_, werr := p.c.Write(out)
+	p.wmu.Unlock()
+	bufpool.Put(out)
+	return werr
+}
+
+// Peer implements Pusher.
+func (p *tcpPusher) Peer() string { return p.peer }
+
+// Done implements Pusher.
+func (p *tcpPusher) Done() <-chan struct{} { return p.done }
 
 type tcpConn struct {
 	model *simtime.Model

@@ -177,6 +177,15 @@ type FleetSpec struct {
 	// rendezvous hash; every site's hnsd then routes meta traffic to the
 	// owning shard. 0 — the default — is the unsharded fleet, unchanged.
 	MetaShards int
+	// Push, when true, has scenarios that honour it (hotupdate) enable
+	// the meta server's push plane and subscribe every site's hnsd to
+	// it, so dynamic updates invalidate site meta-caches by NOTIFY
+	// instead of aging out by TTL. False — the default — changes
+	// nothing.
+	Push bool
+	// ChurnPerSlot is how many meta records the hotupdate scenario
+	// rewrites before each slot; <= 0 lets the scenario choose.
+	ChurnPerSlot int
 }
 
 func (s FleetSpec) base() Spec {
@@ -300,6 +309,11 @@ type FleetResult struct {
 	// StaleOps counts sim ops answered (at least partly) from expired
 	// entries in serve-stale degraded mode.
 	StaleOps int64
+	// Probes and StaleProbes are the sim pass's scenario freshness
+	// probes (hooks.AfterSlot): a stale probe is a site answering with
+	// pre-churn data after an update already landed at the authority.
+	// Zero for scenarios without probes.
+	Probes, StaleProbes int64
 	// Failures counts sim ops that returned an error.
 	Failures int
 	// GatewayShed counts calls the optional hnsgw tier refused with a
@@ -335,6 +349,13 @@ type FleetHooks struct {
 	NewSiteHNS func(reg *metrics.Registry) *core.HNS
 	// BeforeSlot runs before each slot's ops (fault injection).
 	BeforeSlot func(slot int)
+	// AfterSlot runs after each slot's ops and before the clock
+	// advances — freshness probes. It returns how many probes it made
+	// and how many came back stale; the sim pass accumulates the counts
+	// into FleetResult (the wall pass runs the hook for identical cache
+	// state but discards its counts, since its interleaving is
+	// schedule-dependent).
+	AfterSlot func(ctx context.Context, slot int) (probes, stale int64, err error)
 	// Remap rewrites an op's context index per slot (popularity
 	// inversion). It must be pure.
 	Remap func(ctxIdx, slot int) int
@@ -680,6 +701,14 @@ func runFleetSim(ctx context.Context, spec FleetSpec, setup FleetSetup, res *Fle
 		if ss.Ops > 0 {
 			ss.MeanCost = slotCost / time.Duration(ss.Ops)
 		}
+		if e.hooks.AfterSlot != nil {
+			probes, stale, err := e.hooks.AfterSlot(ctx, s)
+			if err != nil {
+				return fmt.Errorf("workload: slot %d probes: %w", s, err)
+			}
+			res.Probes += probes
+			res.StaleProbes += stale
+		}
 		e.clk.Advance(spec.Diurnal.SlotStep)
 	}
 
@@ -767,6 +796,13 @@ func runFleetWall(ctx context.Context, spec FleetSpec, setup FleetSetup, res *Fl
 		}
 		wg.Wait()
 		wall += time.Since(start)
+		if e.hooks.AfterSlot != nil {
+			// Outside the timed region: probes keep both passes' cache
+			// state identical but are not part of the measured load.
+			if _, _, err := e.hooks.AfterSlot(ctx, s); err != nil {
+				return fmt.Errorf("workload: slot %d probes: %w", s, err)
+			}
+		}
 		e.clk.Advance(spec.Diurnal.SlotStep)
 	}
 

@@ -63,6 +63,10 @@ func simSideEqual(t *testing.T, label string, a, b workload.FleetResult) {
 		t.Fatalf("%s: authority fetches/stale differ: %d/%d vs %d/%d",
 			label, a.AuthorityFetches, a.StaleOps, b.AuthorityFetches, b.StaleOps)
 	}
+	if a.Probes != b.Probes || a.StaleProbes != b.StaleProbes {
+		t.Fatalf("%s: probes differ: %d/%d stale vs %d/%d stale",
+			label, a.Probes, a.StaleProbes, b.Probes, b.StaleProbes)
+	}
 	if len(a.Slots) != len(b.Slots) {
 		t.Fatalf("%s: slot counts differ: %d vs %d", label, len(a.Slots), len(b.Slots))
 	}
@@ -242,5 +246,53 @@ func TestScenarioPrimaryLossShape(t *testing.T) {
 	}
 	if res.P99 <= res.P50 {
 		t.Fatalf("p99 %v not above p50 %v under an outage", res.P99, res.P50)
+	}
+}
+
+// TestHotupdatePushVersusPoll is the hotupdate scenario's contract: under
+// identical churn, the polling fleet serves stale answers (probes catch
+// sites handing back pre-churn data within the TTL) while the subscribed
+// fleet serves none — every probe lands after the NOTIFY invalidation.
+// Both arms are deterministic on the sim side.
+func TestHotupdatePushVersusPoll(t *testing.T) {
+	ctx := context.Background()
+	spec := tinyFleetSpec(16)
+	spec.Sites = 2
+
+	poll, err := workload.RunScenario(ctx, "hotupdate", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushSpec := spec
+	pushSpec.Push = true
+	push, err := workload.RunScenario(ctx, "hotupdate", pushSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push2, err := workload.RunScenario(ctx, "hotupdate", pushSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSideEqual(t, "hotupdate/push", push, push2)
+
+	if poll.Probes == 0 || poll.Probes != push.Probes {
+		t.Fatalf("probe counts: poll %d, push %d (want equal and nonzero)", poll.Probes, push.Probes)
+	}
+	// The polling fleet's slot step (1 min) sits far inside the 600 s meta
+	// TTL: the probe context flips every slot, so all but the first fresh
+	// fetch per site serve stale until expiry.
+	if poll.StaleProbes == 0 {
+		t.Fatalf("polling fleet reported no stale probes in %d (churn invisible to the probe?)", poll.Probes)
+	}
+	if push.StaleProbes != 0 {
+		t.Fatalf("subscribed fleet served %d stale probes of %d (push invalidation missed churn)",
+			push.StaleProbes, push.Probes)
+	}
+	// Push converts staleness into invalidation-driven refetches, so the
+	// subscribed fleet must reach the authority at least as often as the
+	// one serving stale hits.
+	if push.AuthorityFetches < poll.AuthorityFetches {
+		t.Fatalf("push fleet fetched %d < poll fleet %d (subscription should refetch churned entries)",
+			push.AuthorityFetches, poll.AuthorityFetches)
 	}
 }

@@ -9,6 +9,7 @@ package workload
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"hns/internal/bind"
@@ -43,7 +44,8 @@ const (
 
 // Scenarios lists the named scenarios in canonical order.
 func Scenarios() []Scenario {
-	return []Scenario{coldstartScenario(), flashcrowdScenario(), primarylossScenario(), shardlossScenario()}
+	return []Scenario{coldstartScenario(), flashcrowdScenario(), primarylossScenario(),
+		shardlossScenario(), hotupdateScenario()}
 }
 
 // FindScenario resolves a scenario by name.
@@ -309,5 +311,145 @@ func primarylossScenario() Scenario {
 				}, nil
 			}
 		},
+	}
+}
+
+// hotupdate: sustained dynamic-update churn against a warm fleet. Every
+// slot rewrites ChurnPerSlot meta records (serial bumps through the
+// dynamic-update interface) while the fleet keeps resolving; slot steps
+// sit well inside the meta TTL, so nothing ages out — whatever freshness
+// the fleet has comes from invalidation, not expiry. With Push off the
+// sites poll: churned entries serve stale until their TTL runs down,
+// which the per-slot probe counts. With Push on every site subscribes to
+// the meta bindd's push plane, so the same churn lands as NOTIFY
+// invalidations and the probes come back fresh.
+//
+// The probe uses two extra synthetic types the op streams never draw:
+// each slot flips a probe context between their name services, so a
+// stale site is caught red-handed by which NSM it hands back. Probes run
+// through hooks.AfterSlot on every site, outside the op accounting.
+func hotupdateScenario() Scenario {
+	return Scenario{
+		Name:        "hotupdate",
+		Description: "sustained meta churn each slot; push invalidation vs TTL staleness, counted by probes",
+		prepare: func(s FleetSpec) FleetSpec {
+			if s.Diurnal.Slots < 4 {
+				s.Diurnal.Slots = 12
+			}
+			if s.Diurnal.SlotStep <= 0 {
+				// Well inside the 600 s meta TTL: staleness, not expiry,
+				// is on trial.
+				s.Diurnal.SlotStep = time.Minute
+			}
+			if s.ChurnPerSlot <= 0 {
+				s.ChurnPerSlot = 1 + s.Contexts/8
+			}
+			// The site meta-cache is the tier under test; a host-tier hit
+			// would hide it.
+			s.HostTTL = time.Nanosecond
+			return s
+		},
+		setup: func(spec FleetSpec) FleetSetup {
+			probeA, probeB := spec.Contexts, spec.Contexts+1
+			return func(ctx context.Context, w *world.World, clk *simtime.FakeClock) (FleetHooks, error) {
+				// Scenario upkeep (registrations, churn, probes) is priced
+				// to nobody.
+				ctx = simtime.WithMeter(ctx, simtime.NewMeter())
+				for _, i := range []int{probeA, probeB} {
+					if _, err := w.AddSyntheticType(ctx, i); err != nil {
+						return FleetHooks{}, err
+					}
+				}
+				if spec.Push {
+					w.MetaServer.Zone(world.MetaZone).EnableDiffLog(4096)
+					w.MetaServer.EnablePush(0)
+				}
+				var sites []*core.HNS
+				probeNS := probeA
+				probeName := names.Must(world.SyntheticContext(probeA), world.SyntheticHost(probeA))
+				return FleetHooks{
+					NewSiteHNS: func(reg *metrics.Registry) *core.HNS {
+						h := w.NewHNS(core.Config{CacheMode: bind.CacheMarshalled, Metrics: reg})
+						if spec.Push && !h.SubscribeMeta() {
+							panic("workload: hotupdate: site meta client cannot subscribe")
+						}
+						sites = append(sites, h)
+						return h
+					},
+					BeforeSlot: func(slot int) {
+						// Rewrite the slot's churn set (same values — the
+						// serial bumps and NOTIFYs are the point) and flip
+						// the probe context's name service.
+						for j := 0; j < spec.ChurnPerSlot; j++ {
+							i := (slot*spec.ChurnPerSlot + j) % spec.Contexts
+							if err := w.HNS.RegisterContext(ctx, world.SyntheticContext(i), world.SyntheticNS(i)); err != nil {
+								panic(fmt.Sprintf("workload: hotupdate churn: %v", err))
+							}
+						}
+						probeNS = probeA
+						if slot%2 == 1 {
+							probeNS = probeB
+						}
+						// The flip changes the record's data, and Add on a
+						// changed value accumulates (a context may hold
+						// several services): remove the old mapping first so
+						// the probe context points at exactly one NS.
+						if err := w.HNS.UnregisterContext(ctx, world.SyntheticContext(probeA)); err != nil {
+							panic(fmt.Sprintf("workload: hotupdate probe unregister: %v", err))
+						}
+						if err := w.HNS.RegisterContext(ctx, world.SyntheticContext(probeA), world.SyntheticNS(probeNS)); err != nil {
+							panic(fmt.Sprintf("workload: hotupdate probe flip: %v", err))
+						}
+						if spec.Push {
+							// The pass is deterministic only once every
+							// site has fully applied the slot's
+							// invalidations (LastSerial is a processed
+							// watermark).
+							waitFleetPush(w, sites)
+						}
+					},
+					AfterSlot: func(ctx context.Context, slot int) (probes, stale int64, err error) {
+						ctx = simtime.WithMeter(ctx, simtime.NewMeter())
+						want := fmt.Sprintf(":nsm-type%d", probeNS)
+						for _, h := range sites {
+							b, err := h.FindNSM(ctx, probeName, qclass.HostAddress)
+							if err != nil {
+								return probes, stale, err
+							}
+							probes++
+							if !strings.HasSuffix(b.Addr, want) {
+								stale++
+							}
+						}
+						return probes, stale, nil
+					},
+					Close: func() {
+						for _, h := range sites {
+							h.UnsubscribeMeta()
+						}
+					},
+				}, nil
+			}
+		},
+	}
+}
+
+// waitFleetPush blocks until every subscribed site has fully processed
+// the meta zone's newest serial — after it returns, all invalidations
+// from the updates just applied have landed in the site caches.
+func waitFleetPush(w *world.World, sites []*core.HNS) {
+	target := w.MetaServer.Zone(world.MetaZone).Serial()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, h := range sites {
+		sub := h.MetaSubscription()
+		if sub == nil {
+			continue
+		}
+		for sub.LastSerial() < target {
+			if sub.Degraded() || time.Now().After(deadline) {
+				panic("workload: hotupdate: push subscription stalled (degraded or 10s without catching up)")
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
 	}
 }

@@ -32,7 +32,7 @@ echo "--- crash tier: seeded crash/restart storm and durable-store suites, raced
 go test -race -count=1 -run 'TestCrashRecovery|TestDurable|TestSecondaryRestore' ./internal/bind
 go test -race -count=1 ./internal/store
 
-echo "--- coverage floors: internal/workload, internal/health, internal/admission, internal/store, internal/shard"
+echo "--- coverage floors: internal/workload, internal/health, internal/admission, internal/store, internal/shard, internal/push"
 cover() {
   local pkg=$1 floor=$2
   local pct
@@ -46,6 +46,7 @@ cover ./internal/health 83
 cover ./internal/admission 80
 cover ./internal/store 85
 cover ./internal/shard 85
+cover ./internal/push 80
 
 echo "--- chaos tier: seeded failure injection (make chaos)"
 make chaos
@@ -256,5 +257,75 @@ grep -q 'epoch 1, seed 0, 2 members' <<<"$out" || { echo "SMOKE FAILED: shard ma
 grep -q 'shard "s0"' <<<"$out" || { echo "SMOKE FAILED: shard counters lack s0"; exit 1; }
 grep -q 'shard "s1"' <<<"$out" || { echo "SMOKE FAILED: shard counters lack s1"; exit 1; }
 grep -Eq 'notowner: +[1-9][0-9]* redirects served' <<<"$out" || { echo "SMOKE FAILED: no NOTOWNER redirects counted"; exit 1; }
+
+# ---- Part 5: the push plane. A push-enabled primary with an IXFR diff
+# log, a NOTIFY-driven secondary, and a subscribed hnsd: a dynamic update
+# reaches both the moment it lands (no TTL or refresh-tick wait), and
+# -mux=false provably degrades the subscriber back to TTL polling.
+./bindd -host pushp -zone hns -update -push -ixfr-window 256 \
+        -hrpc 127.0.0.1:5380 -std "" -metrics 127.0.0.1:5381 >pushp.log 2>&1 &
+echo $! >> pids
+sleep 0.5
+# -refresh 30s: any record the mirror picks up within ~2s of a register
+# can only have arrived via the NOTIFY kick, not the poll tick.
+./bindd -host pushs -zone hns -secondary 127.0.0.1:5380 -refresh 30s -notify \
+        -hrpc 127.0.0.1:5382 -std "" >pushs.log 2>&1 &
+echo $! >> pids
+./hnsd -addr 127.0.0.1:5383 -meta 127.0.0.1:5380 -subscribe \
+       -metrics 127.0.0.1:5384 -link-bind bind-cs=127.0.0.1:5302 >hns_push.log 2>&1 &
+echo $! >> pids
+sleep 0.5
+
+# A live NOTIFY stream, watched by an operator: start the watch, land an
+# update, and the notification must appear before the watch is stopped.
+timeout -s INT 6 ./hnsctl watch -meta 127.0.0.1:5380 hns >watch.log 2>&1 &
+watch_pid=$!
+sleep 1
+./hnsctl register-ns      -meta 127.0.0.1:5380 bind-cs bind
+./hnsctl register-context -meta 127.0.0.1:5380 hostaddr-bind bind-cs
+./hnsctl register-nsm     -meta 127.0.0.1:5380 -name hostaddr-bind-1 \
+        -ns bind-cs -qclass hostaddress -nsm-host june.cs.washington.edu \
+        -hostctx hostaddr-bind -port 5320 -suite udp-net,xdr,sunrpc
+sleep 1.5
+
+echo "--- NOTIFY-driven secondary: the mirror holds the update long before its 30s refresh tick"
+out=$(./hnsctl dump -meta 127.0.0.1:5382)
+echo "$out"
+grep -q 'bind-cs' <<<"$out" || { echo "SMOKE FAILED: NOTIFY-kicked mirror lacks the update"; exit 1; }
+grep -Eq 'incremental refreshes so far' pushs.log || { echo "SMOKE FAILED: secondary never refreshed"; exit 1; }
+
+echo "--- live NOTIFY stream via hnsctl watch"
+wait $watch_pid || true
+cat watch.log
+grep -q 'watching zone "hns"' watch.log || { echo "SMOKE FAILED: watch never subscribed"; exit 1; }
+grep -Eq 'serial +[0-9]+ +[a-z]' watch.log || { echo "SMOKE FAILED: watch saw no NOTIFY"; exit 1; }
+
+echo "--- resolve through the subscribed hnsd"
+out=$(./hnsctl resolve -hns 127.0.0.1:5383 hostaddr-bind fiji.cs.washington.edu)
+echo "$out"
+grep -q '127.0.0.1' <<<"$out" || { echo "SMOKE FAILED: resolve through subscribed hnsd"; exit 1; }
+
+echo "--- push plane on the primary via hnsctl stats (subscriber table)"
+out=$(./hnsctl stats -from 127.0.0.1:5381)
+echo "$out"
+grep -q 'push plane:' <<<"$out" || { echo "SMOKE FAILED: primary stats lack the push plane section"; exit 1; }
+grep -Eq 'subscribers now +[1-9]' <<<"$out" || { echo "SMOKE FAILED: primary counts no subscribers"; exit 1; }
+
+echo "--- the subscriber processed the pushed invalidations"
+out=$(./hnsctl stats -from 127.0.0.1:5384 -filter push_client)
+echo "$out"
+grep -Eq 'push_client_notify_total +[1-9]' <<<"$out" || { echo "SMOKE FAILED: hnsd saw no NOTIFY"; exit 1; }
+
+echo "--- -mux=false fallback: a legacy-framing hnsd degrades to TTL polling and still resolves"
+./hnsd -addr 127.0.0.1:5386 -meta 127.0.0.1:5380 -subscribe -mux=false \
+       -metrics 127.0.0.1:5387 -link-bind bind-cs=127.0.0.1:5302 >hns_pushfb.log 2>&1 &
+echo $! >> pids
+sleep 1
+out=$(./hnsctl resolve -hns 127.0.0.1:5386 hostaddr-bind fiji.cs.washington.edu)
+echo "$out"
+grep -q '127.0.0.1' <<<"$out" || { echo "SMOKE FAILED: resolve through degraded hnsd"; exit 1; }
+out=$(./hnsctl stats -from 127.0.0.1:5387 -filter push_client)
+echo "$out"
+grep -Eq 'push_client_degraded_total +[1-9]' <<<"$out" || { echo "SMOKE FAILED: legacy framing did not degrade to polling"; exit 1; }
 
 echo "SMOKE OK"
